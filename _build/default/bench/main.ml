@@ -1,0 +1,142 @@
+(* Benchmark and reproduction harness.
+
+   Running this executable regenerates every figure of the paper's
+   evaluation (Figures 1-4) plus the extension tables (tightness T-1,
+   ablations T-2), then times the building blocks with Bechamel.
+
+   Environment knobs:
+     RTA_SETS   job sets per data point (default 100; the paper used 1000)
+     RTA_JOBS   jobs per set            (default 6)
+     RTA_SEED   base random seed        (default 42)
+     RTA_SKIP_FIGURES / RTA_SKIP_MICRO  set to 1 to skip a section. *)
+
+module F = Rta_experiments.Figures
+
+let env_int name default =
+  match Sys.getenv_opt name with
+  | Some v -> ( match int_of_string_opt v with Some i -> i | None -> default)
+  | None -> default
+
+let env_flag name = Sys.getenv_opt name = Some "1"
+
+let sets = env_int "RTA_SETS" 100
+let jobs = env_int "RTA_JOBS" 6
+let seed = env_int "RTA_SEED" 42
+
+(* ------------------------------------------------------------------ *)
+(* Figure regeneration                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let figures () =
+  Printf.printf
+    "=== Reproduction: Li, Bettati, Zhao (ICPP 1998) ===\n\
+     sets/point=%d jobs/set=%d seed=%d (paper used 1000 sets; set RTA_SETS)\n\n"
+    sets jobs seed;
+  let section s = print_string s; print_newline () in
+  section (F.fig1 ());
+  section (F.fig2 ());
+  section (F.fig3 ~sets ~jobs ~seed ());
+  section (F.fig4 ~sets ~jobs ~seed ());
+  section (F.tightness ~sets:(max 20 (sets / 2)) ~seed ());
+  section (F.ablation ~sets:(max 20 (sets / 2)) ~seed ());
+  section (F.robustness ~sets:(max 20 (sets / 2)) ~seed ());
+  section (F.envelope_admission ~sets:(max 20 (sets / 2)) ~seed ());
+  section (F.perf_scaling ())
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks                                           *)
+(* ------------------------------------------------------------------ *)
+
+open Bechamel
+open Toolkit
+
+let shop sched =
+  let config =
+    Rta_workload.Jobshop.default ~stages:3 ~jobs:6 ~utilization:0.5
+      ~arrival:Rta_workload.Jobshop.Periodic_eq25
+      ~deadline:(Rta_workload.Jobshop.Multiple_of_period 2.0) ~sched
+  in
+  Rta_workload.Jobshop.generate config ~rng:(Rta_workload.Rng.make 7)
+
+let horizons system = Rta_workload.Jobshop.suggested_horizons system
+
+let bench_engine sched name =
+  let system = shop sched in
+  let release_horizon, horizon = horizons system in
+  Test.make ~name
+    (Staged.stage (fun () ->
+         match Rta_core.Engine.run ~release_horizon ~horizon system with
+         | Ok e -> ignore (Rta_core.Response.schedulable e ~estimator:`Direct)
+         | Error _ -> ()))
+
+let bench_transform =
+  (* The inner min-plus transform on a realistic trace. *)
+  let work =
+    Rta_curve.Step.scale
+      (Rta_model.Arrival.arrival_function
+         (Rta_model.Arrival.Bursty { period = 1500 })
+         ~horizon:150_000)
+      700
+  in
+  Test.make ~name:"minplus transform (100 instances)"
+    (Staged.stage (fun () ->
+         ignore
+           (Rta_curve.Minplus.transform ~mode:`Left ~avail:Rta_curve.Pl.identity
+              ~work)))
+
+let bench_sim =
+  let system = shop Rta_model.Sched.Spp in
+  let release_horizon, horizon = horizons system in
+  Test.make ~name:"simulator (3-stage shop)"
+    (Staged.stage (fun () ->
+         ignore (Rta_sim.Sim.run ~release_horizon system ~horizon)))
+
+let bench_sunliu =
+  let system = shop Rta_model.Sched.Spp in
+  Test.make ~name:"Sun&Liu iteration"
+    (Staged.stage (fun () -> ignore (Rta_baselines.Sunliu.analyze system)))
+
+let bench_fixpoint =
+  let system = shop Rta_model.Sched.Spp in
+  let release_horizon, horizon = horizons system in
+  Test.make ~name:"Section 6 fixpoint"
+    (Staged.stage (fun () ->
+         ignore (Rta_core.Fixpoint.analyze ~release_horizon ~horizon system)))
+
+let micro () =
+  print_endline "=== Micro-benchmarks (Bechamel; ns/run via OLS) ===";
+  let tests =
+    [
+      bench_transform;
+      bench_engine Rta_model.Sched.Spp "engine SPP/Exact (3-stage shop)";
+      bench_engine Rta_model.Sched.Spnp "engine SPNP/App (3-stage shop)";
+      bench_engine Rta_model.Sched.Fcfs "engine FCFS/App (3-stage shop)";
+      bench_sim;
+      bench_sunliu;
+      bench_fixpoint;
+    ]
+  in
+  let benchmark test =
+    let instances = Instance.[ monotonic_clock ] in
+    let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:(Some 10) () in
+    let raw = Benchmark.all cfg instances test in
+    let ols =
+      Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+    in
+    Analyze.all ols Instance.monotonic_clock raw
+  in
+  List.iter
+    (fun test ->
+      let results = benchmark test in
+      Hashtbl.iter
+        (fun name result ->
+          match Analyze.OLS.estimates result with
+          | Some [ est ] -> Printf.printf "  %-40s %12.0f ns/run\n" name est
+          | Some _ | None -> Printf.printf "  %-40s (no estimate)\n" name)
+        results)
+    tests;
+  print_newline ()
+
+let () =
+  if not (env_flag "RTA_SKIP_FIGURES") then figures ();
+  if not (env_flag "RTA_SKIP_MICRO") then micro ()

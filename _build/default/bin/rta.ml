@@ -1,0 +1,416 @@
+(* Command-line front end: analyze/simulate textual system descriptions,
+   generate random job shops, and regenerate the paper's figures. *)
+
+open Cmdliner
+open Rta_model
+
+let load_system path auto_prio =
+  match Parser.parse_file path with
+  | Error e ->
+      Format.eprintf "error: %s@." e;
+      exit 2
+  | Ok system ->
+      if not auto_prio then system
+      else
+        let jobs =
+          Array.init (System.job_count system) (System.job system)
+          |> Priority.deadline_monotonic
+        in
+        let schedulers =
+          Array.init (System.processor_count system) (System.scheduler_of system)
+        in
+        System.make_exn ~schedulers ~jobs
+
+let horizons system horizon release_horizon =
+  let suggested_release, suggested = Rta_workload.Jobshop.suggested_horizons system in
+  let release_horizon = Option.value ~default:suggested_release release_horizon in
+  let horizon = Option.value ~default:(max suggested (2 * release_horizon)) horizon in
+  (release_horizon, horizon)
+
+(* Shared options *)
+
+let file_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"System description file.")
+
+let horizon_arg =
+  Arg.(value & opt (some int) None
+       & info [ "horizon" ] ~docv:"TICKS" ~doc:"Analysis horizon in ticks (default: derived from the periods).")
+
+let release_horizon_arg =
+  Arg.(value & opt (some int) None
+       & info [ "release-horizon" ] ~docv:"TICKS"
+           ~doc:"Releases are generated within this prefix of the horizon.")
+
+let auto_prio_arg =
+  Arg.(value & flag
+       & info [ "auto-prio" ]
+           ~doc:"Replace priorities with the Eq. 24 deadline-monotonic assignment.")
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"Random seed.")
+
+let verbose_arg =
+  Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Enable debug logging.")
+
+let setup_logs verbose =
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Logs.set_level (Some (if verbose then Logs.Debug else Logs.Warning))
+
+(* analyze *)
+
+let analyze_cmd =
+  let estimator_arg =
+    let estimator_conv = Arg.enum [ ("direct", `Direct); ("sum", `Sum) ] in
+    Arg.(value & opt estimator_conv `Direct
+         & info [ "estimator" ] ~docv:"KIND"
+             ~doc:"End-to-end composition for approximate analyses: $(b,direct) (Theorem 1 on departure bounds) or $(b,sum) (Theorem 4).")
+  in
+  let explain_arg =
+    Arg.(value & flag
+         & info [ "explain" ]
+             ~doc:"Also print per-stage local response bounds (Eq. 12), showing which stage dominates.")
+  in
+  let dump_arg =
+    Arg.(value & opt (some string) None
+         & info [ "dump-curves" ] ~docv:"DIR"
+             ~doc:"Write each subjob's arrival/departure bound curves as CSV files into DIR.")
+  in
+  let run file horizon release_horizon auto_prio estimator verbose explain dump =
+    setup_logs verbose;
+    let system = load_system file auto_prio in
+    let release_horizon, horizon = horizons system horizon release_horizon in
+    let report = Rta_core.Analysis.run ~estimator ~release_horizon ~horizon system in
+    Format.printf "%a@.%a@." System.pp system
+      (Rta_core.Analysis.pp_report system)
+      report;
+    if explain then begin
+      match Rta_core.Engine.run ~release_horizon ~horizon system with
+      | Error (`Cyclic _) ->
+          Format.printf "(cyclic system: no per-stage breakdown)@."
+      | Ok engine ->
+          Format.printf "@.per-stage local response bounds (Eq. 12):@.";
+          for j = 0 to System.job_count system - 1 do
+            Format.printf "  %-8s" (System.job system j).System.name;
+            List.iteri
+              (fun st v ->
+                match v with
+                | Rta_core.Response.Bounded r ->
+                    Format.printf " stage%d=%a" (st + 1) Time.pp r
+                | Rta_core.Response.Unbounded ->
+                    Format.printf " stage%d=inf" (st + 1))
+              (Rta_core.Response.stage_bounds engine ~job:j);
+            Format.printf "@."
+          done
+    end;
+    (match dump with
+    | None -> ()
+    | Some dir -> (
+        match Rta_core.Engine.run ~release_horizon ~horizon system with
+        | Error (`Cyclic _) -> Format.eprintf "cyclic system: no curves@."
+        | Ok engine ->
+            if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+            for j = 0 to System.job_count system - 1 do
+              let job = System.job system j in
+              Array.iteri
+                (fun st _ ->
+                  let path =
+                    Filename.concat dir
+                      (Printf.sprintf "%s_stage%d.csv" job.System.name (st + 1))
+                  in
+                  Out_channel.with_open_text path (fun oc ->
+                      Out_channel.output_string oc
+                        (Rta_core.Engine.entry_csv engine { System.job = j; step = st })))
+                job.System.steps
+            done;
+            Format.printf "curves written to %s/@." dir));
+    if not report.Rta_core.Analysis.schedulable then exit 1
+  in
+  Cmd.v
+    (Cmd.info "analyze" ~doc:"Worst-case response-time analysis of a system description.")
+    Term.(const run $ file_arg $ horizon_arg $ release_horizon_arg $ auto_prio_arg $ estimator_arg $ verbose_arg $ explain_arg $ dump_arg)
+
+(* simulate *)
+
+let simulate_cmd =
+  let gantt_arg =
+    Arg.(value & flag
+         & info [ "gantt" ] ~doc:"Draw an ASCII Gantt chart of the schedule.")
+  in
+  let run file horizon release_horizon auto_prio gantt =
+    let system = load_system file auto_prio in
+    let release_horizon, horizon = horizons system horizon release_horizon in
+    let sim = Rta_sim.Sim.run ~release_horizon system ~horizon in
+    Format.printf "%a@.simulated over [0, %a], releases in [0, %a]@." System.pp
+      system Time.pp horizon Time.pp release_horizon;
+    for j = 0 to System.job_count system - 1 do
+      let job = System.job system j in
+      match Rta_sim.Stats.response_summary sim ~job:j with
+      | Some summary ->
+          Format.printf "  %-8s %a %s@." job.System.name
+            Rta_sim.Stats.pp_summary summary
+            (if summary.Rta_sim.Stats.worst <= job.System.deadline
+                && summary.Rta_sim.Stats.count = summary.Rta_sim.Stats.released
+             then "OK"
+             else "MISS")
+      | None ->
+          Format.printf "  %-8s no instance completed in the horizon@."
+            job.System.name
+    done;
+    if gantt then print_string (Rta_sim.Gantt.render system sim)
+  in
+  Cmd.v
+    (Cmd.info "simulate" ~doc:"Event-driven simulation of a system description.")
+    Term.(const run $ file_arg $ horizon_arg $ release_horizon_arg $ auto_prio_arg $ gantt_arg)
+
+(* baseline *)
+
+let baseline_cmd =
+  let method_arg =
+    let method_conv =
+      Arg.enum
+        [ ("sunliu", `Sunliu); ("holistic", `Holistic);
+          ("joseph-pandya", `Jp); ("utilization", `Util) ]
+    in
+    Arg.(value & opt method_conv `Sunliu
+         & info [ "method" ] ~docv:"NAME"
+             ~doc:"One of $(b,sunliu), $(b,holistic), $(b,joseph-pandya), $(b,utilization).")
+  in
+  let run file auto_prio method_ =
+    let system = load_system file auto_prio in
+    let print_verdicts name verdicts =
+      Format.printf "%s end-to-end bounds:@." name;
+      Array.iteri
+        (fun j v ->
+          let job = System.job system j in
+          match v with
+          | Rta_baselines.Sunliu.Bounded r ->
+              Format.printf "  %-8s %a (deadline %a) %s@." job.System.name
+                Time.pp r Time.pp job.System.deadline
+                (if r <= job.System.deadline then "OK" else "MISS")
+          | Rta_baselines.Sunliu.Unbounded ->
+              Format.printf "  %-8s unbounded MISS@." job.System.name)
+        verdicts
+    in
+    match method_ with
+    | `Sunliu | `Holistic -> (
+        let jitter_model = if method_ = `Sunliu then `Sun_liu else `Holistic in
+        match Rta_baselines.Sunliu.analyze ~jitter_model system with
+        | Error e ->
+            Format.eprintf "not applicable: %s@." e;
+            exit 2
+        | Ok r ->
+            print_verdicts
+              (if method_ = `Sunliu then "Sun&Liu (SPP/S&L)" else "holistic")
+              r.Rta_baselines.Sunliu.per_job)
+    | `Jp -> (
+        match Rta_baselines.Joseph_pandya.analyze system with
+        | Error e ->
+            Format.eprintf "not applicable: %s@." e;
+            exit 2
+        | Ok v ->
+            print_verdicts "Joseph-Pandya"
+              (Array.map
+                 (function
+                   | Rta_baselines.Joseph_pandya.Bounded r ->
+                       Rta_baselines.Sunliu.Bounded r
+                   | Rta_baselines.Joseph_pandya.Unbounded ->
+                       Rta_baselines.Sunliu.Unbounded)
+                 v))
+    | `Util -> (
+        match
+          ( Rta_baselines.Utilization.under_unit_utilization system,
+            Rta_baselines.Utilization.rm_schedulable system )
+        with
+        | Some u1, Some rm ->
+            Format.printf "utilization < 1 on all processors: %b@." u1;
+            Format.printf "Liu-Layland RM bound satisfied:      %b@." rm
+        | _ ->
+            Format.eprintf "not applicable: trace arrivals have no rate@.";
+            exit 2)
+  in
+  Cmd.v
+    (Cmd.info "baseline" ~doc:"Classic baseline analyses (S&L, holistic, Joseph-Pandya, utilization).")
+    Term.(const run $ file_arg $ auto_prio_arg $ method_arg)
+
+(* generate *)
+
+let generate_cmd =
+  let stages_arg = Arg.(value & opt int 4 & info [ "stages" ] ~docv:"N" ~doc:"Stages in the shop.") in
+  let jobs_arg = Arg.(value & opt int 6 & info [ "jobs" ] ~docv:"N" ~doc:"Number of jobs.") in
+  let util_arg =
+    Arg.(value & opt float 0.5 & info [ "utilization" ] ~docv:"U" ~doc:"Target per-processor utilization.")
+  in
+  let arrival_arg =
+    let arrival_conv =
+      Arg.enum
+        [ ("periodic", Rta_workload.Jobshop.Periodic_eq25);
+          ("bursty", Rta_workload.Jobshop.Bursty_eq27) ]
+    in
+    Arg.(value & opt arrival_conv Rta_workload.Jobshop.Periodic_eq25
+         & info [ "arrival" ] ~docv:"KIND" ~doc:"$(b,periodic) (Eq. 25) or $(b,bursty) (Eq. 27).")
+  in
+  let sched_arg =
+    let sched_conv = Arg.enum [ ("spp", Sched.Spp); ("spnp", Sched.Spnp); ("fcfs", Sched.Fcfs) ] in
+    Arg.(value & opt sched_conv Sched.Spp & info [ "sched" ] ~docv:"POLICY" ~doc:"Scheduler on every processor.")
+  in
+  let run stages jobs utilization arrival sched seed =
+    let config =
+      Rta_workload.Jobshop.default ~stages ~jobs ~utilization ~arrival
+        ~deadline:(Rta_workload.Jobshop.Multiple_of_period 2.0) ~sched
+    in
+    let system =
+      Rta_workload.Jobshop.generate config ~rng:(Rta_workload.Rng.make seed)
+    in
+    print_string (Parser.print system)
+  in
+  Cmd.v
+    (Cmd.info "generate" ~doc:"Generate a random job shop (Section 5 workload) as a description file.")
+    Term.(const run $ stages_arg $ jobs_arg $ util_arg $ arrival_arg $ sched_arg $ seed_arg)
+
+(* envelope *)
+
+let envelope_cmd =
+  let run file auto_prio =
+    let system = load_system file auto_prio in
+    let n_procs = System.processor_count system in
+    let n_jobs = System.job_count system in
+    let release_horizon, _ = Rta_workload.Jobshop.suggested_horizons system in
+    let chain_is_pipeline j =
+      let steps = (System.job system j).System.steps in
+      Array.length steps = n_procs
+      && Array.for_all Fun.id
+           (Array.mapi (fun st (s : System.step) -> s.System.proc = st) steps)
+    in
+    let all_pipeline =
+      List.for_all chain_is_pipeline (List.init n_jobs Fun.id)
+    in
+    if not all_pipeline then begin
+      Format.eprintf
+        "envelope analysis needs a pure pipeline: every job crossing \
+         processors 0..%d in order@."
+        (n_procs - 1);
+      exit 2
+    end;
+    let sources =
+      List.init n_jobs (fun j ->
+          let job = System.job system j in
+          {
+            Rta_core.Envelope_analysis.p_name = job.System.name;
+            p_envelope = Arrival.envelope job.System.arrival ~release_horizon;
+            taus = Array.map (fun (s : System.step) -> s.System.exec) job.System.steps;
+            p_prio = job.System.steps.(0).System.prio;
+          })
+    in
+    let scheds = Array.init n_procs (System.scheduler_of system) in
+    let result = Rta_core.Envelope_analysis.pipeline_bounds ~scheds ~sources in
+    Format.printf "horizon-free envelope bounds (hold for every conforming trace):@.";
+    Array.iteri
+      (fun j v ->
+        let job = System.job system j in
+        match v with
+        | Rta_core.Envelope_analysis.Bounded r ->
+            Format.printf "  %-8s response <= %a  deadline %a  %s@."
+              job.System.name Time.pp r Time.pp job.System.deadline
+              (if r <= job.System.deadline then "OK" else "MISS")
+        | Rta_core.Envelope_analysis.Unbounded ->
+            Format.printf "  %-8s unbounded  MISS@." job.System.name)
+      result.Rta_core.Envelope_analysis.end_to_end
+  in
+  Cmd.v
+    (Cmd.info "envelope"
+       ~doc:"Horizon-free envelope bounds for pipeline systems (network-calculus extension).")
+    Term.(const run $ file_arg $ auto_prio_arg)
+
+(* sensitivity *)
+
+let sensitivity_cmd =
+  let run file horizon release_horizon auto_prio =
+    let system = load_system file auto_prio in
+    let release_horizon, horizon = horizons system horizon release_horizon in
+    (match Rta_core.Sensitivity.utilization_headroom system with
+    | Some h -> Format.printf "utilization headroom (naive): %.3f@." h
+    | None -> Format.printf "utilization headroom: n/a (trace arrivals)@.");
+    match
+      Rta_core.Sensitivity.critical_scaling ~release_horizon ~horizon system
+    with
+    | Some lambda ->
+        Format.printf
+          "critical scaling factor: %.3f (execution budgets can %s by %.1f%%)@."
+          lambda
+          (if lambda >= 1. then "grow" else "must shrink")
+          (Float.abs (lambda -. 1.) *. 100.)
+    | None ->
+        Format.printf
+          "no feasible scaling: some deadline is shorter than its chain's            minimum latency@.";
+        exit 1
+  in
+  Cmd.v
+    (Cmd.info "sensitivity"
+       ~doc:"Critical scaling factor: how much execution budgets can grow (or must shrink).")
+    Term.(const run $ file_arg $ horizon_arg $ release_horizon_arg $ auto_prio_arg)
+
+(* figures *)
+
+let figures_cmd =
+  let what_arg =
+    Arg.(required & pos 0 (some (enum
+      [ ("fig1", `F1); ("fig2", `F2); ("fig3", `F3); ("fig4", `F4);
+        ("tightness", `T); ("ablation", `A); ("robustness", `R);
+        ("envelope-admission", `E); ("perf", `P); ("all", `All) ])) None
+      & info [] ~docv:"WHAT"
+          ~doc:"One of fig1, fig2, fig3, fig4, tightness, ablation, robustness, perf, all.")
+  in
+  let sets_arg =
+    Arg.(value & opt int 200 & info [ "sets" ] ~docv:"N" ~doc:"Random job sets per data point.")
+  in
+  let jobs_arg = Arg.(value & opt int 6 & info [ "jobs" ] ~docv:"N" ~doc:"Jobs per set.") in
+  let csv_arg =
+    Arg.(value & opt (some string) None
+         & info [ "csv" ] ~docv:"FILE"
+             ~doc:"Also write Figure 3's data as long-format CSV (fig3/all only).")
+  in
+  let run what sets jobs seed csv =
+    let module F = Rta_experiments.Figures in
+    let emit s = print_string s; print_newline () in
+    (match what with
+    | `F1 -> emit (F.fig1 ())
+    | `F2 -> emit (F.fig2 ())
+    | `F3 -> emit (F.fig3 ~sets ~jobs ~seed ())
+    | `F4 -> emit (F.fig4 ~sets ~jobs ~seed ())
+    | `T -> emit (F.tightness ~sets ~seed ())
+    | `A -> emit (F.ablation ~sets ~seed ())
+    | `R -> emit (F.robustness ~sets ~seed ())
+    | `E -> emit (F.envelope_admission ~sets ~seed ())
+    | `P -> emit (F.perf_scaling ())
+    | `All ->
+        emit (F.fig1 ());
+        emit (F.fig2 ());
+        emit (F.fig3 ~sets ~jobs ~seed ());
+        emit (F.fig4 ~sets ~jobs ~seed ());
+        emit (F.tightness ~sets ~seed ());
+        emit (F.ablation ~sets ~seed ());
+        emit (F.robustness ~sets ~seed ());
+        emit (F.envelope_admission ~sets ~seed ());
+        emit (F.perf_scaling ()));
+    match (csv, what) with
+    | Some path, (`F3 | `All) ->
+        Out_channel.with_open_text path (fun oc ->
+            Out_channel.output_string oc (F.fig3_csv ~sets ~jobs ~seed ()));
+        Format.printf "wrote %s@." path
+    | Some _, _ -> Format.eprintf "--csv applies to fig3/all only@."
+    | None, _ -> ()
+  in
+  Cmd.v
+    (Cmd.info "figures" ~doc:"Regenerate the paper's figures and the extension tables.")
+    Term.(const run $ what_arg $ sets_arg $ jobs_arg $ seed_arg $ csv_arg)
+
+let () =
+  let default = Term.(ret (const (`Help (`Pager, None)))) in
+  let info =
+    Cmd.info "rta" ~version:"1.0.0"
+      ~doc:"Response-time analysis for distributed real-time systems with bursty job arrivals (Li, Bettati, Zhao; ICPP 1998)."
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group ~default info
+          [ analyze_cmd; simulate_cmd; baseline_cmd; generate_cmd; envelope_cmd; sensitivity_cmd; figures_cmd ]))

@@ -1,0 +1,1 @@
+examples/admission_control.ml: Array Arrival Format List Printf Priority Rta_core Rta_model Rta_workload Sched System Time

@@ -1,0 +1,1 @@
+examples/cyclic_loop.ml: Array Arrival Format List Rta_baselines Rta_core Rta_model Rta_sim Sched System Time

@@ -1,0 +1,1 @@
+examples/cyclic_loop.mli:

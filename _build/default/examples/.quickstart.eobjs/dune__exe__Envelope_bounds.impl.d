@@ -1,0 +1,1 @@
+examples/envelope_bounds.ml: Array Arrival Format List Rta_core Rta_curve Rta_model Rta_sim Sched String System Time

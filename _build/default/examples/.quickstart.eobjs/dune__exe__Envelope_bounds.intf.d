@@ -1,0 +1,1 @@
+examples/envelope_bounds.mli:

@@ -1,0 +1,1 @@
+examples/heterogeneous_shop.ml: Array Format Rta_core Rta_model Rta_sim Rta_workload Sched System Time

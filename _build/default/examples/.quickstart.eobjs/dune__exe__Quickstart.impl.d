@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Arrival Format Rta_core Rta_model Rta_sim Sched System Time

@@ -1,0 +1,1 @@
+examples/video_pipeline.ml: Array Arrival Format List Printf Rta_core Rta_model Rta_sim Sched System Time

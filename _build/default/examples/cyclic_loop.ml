@@ -1,0 +1,91 @@
+(* "Logical loops" — the open problem from the paper's conclusion
+   (Section 6), and what this library does about it.
+
+   Two jobs traverse two processors in opposite orders, each outranked by
+   the other's second stage, so each job's arrival function transitively
+   depends on its own departures.  The chain-propagation engine refuses
+   (reports the cycle), and the Section 6 fixed point takes over.  The
+   window-based iteration may fail to converge (the paper left convergence
+   open; we document the unit-gain creep in EXPERIMENTS.md), in which case
+   the jitter-based Sun&Liu iteration still applies for SPP systems.
+
+   Run with: dune exec examples/cyclic_loop.exe *)
+
+open Rta_model
+
+let system ~load =
+  (* [load] scales execution times: small loads converge, heavy loads make
+     the fixed point creep into rejection. *)
+  let e u = max 1 (Time.of_units (u *. load)) in
+  System.make_exn
+    ~schedulers:[| Sched.Spp; Sched.Spp |]
+    ~jobs:
+      [|
+        {
+          System.name = "east";
+          arrival = Arrival.Periodic { period = Time.of_units 20.0; offset = 0 };
+          deadline = Time.of_units 30.0;
+          steps =
+            [|
+              { System.proc = 0; exec = e 1.0; prio = 2 };
+              { System.proc = 1; exec = e 1.5; prio = 1 };
+            |];
+        };
+        {
+          System.name = "west";
+          arrival =
+            Arrival.Periodic
+              { period = Time.of_units 25.0; offset = Time.of_units 3.0 };
+          deadline = Time.of_units 30.0;
+          steps =
+            [|
+              { System.proc = 1; exec = e 1.0; prio = 2 };
+              { System.proc = 0; exec = e 1.5; prio = 1 };
+            |];
+        };
+      |]
+
+let () =
+  let s = system ~load:1.0 in
+  (match Rta_core.Deps.compute s with
+  | Rta_core.Deps.Acyclic _ -> Format.printf "dependencies: acyclic (unexpected)@."
+  | Rta_core.Deps.Cyclic stuck ->
+      Format.printf "dependencies: cyclic through %d subjobs — chain propagation refuses@."
+        (List.length stuck));
+  let release_horizon = Time.of_units 200.0 and horizon = Time.of_units 400.0 in
+  List.iter
+    (fun load ->
+      let s = system ~load in
+      let fp = Rta_core.Fixpoint.analyze ~release_horizon ~horizon s in
+      let sim = Rta_sim.Sim.run ~release_horizon s ~horizon in
+      Format.printf "@.load x%.1f (fixpoint: %d iterations)@." load
+        fp.Rta_core.Fixpoint.iterations;
+      Array.iteri
+        (fun j v ->
+          let name = (System.job s j).System.name in
+          let sim_worst =
+            match Rta_sim.Sim.worst_response sim j with
+            | Some w -> Format.asprintf "%a" Time.pp w
+            | None -> "-"
+          in
+          match v with
+          | Rta_core.Fixpoint.Bounded b ->
+              Format.printf "  %-5s fixpoint %a  sim %s@." name Time.pp b sim_worst
+          | Rta_core.Fixpoint.Unbounded ->
+              Format.printf "  %-5s fixpoint did not converge (reject)  sim %s@."
+                name sim_worst)
+        fp.Rta_core.Fixpoint.per_job;
+      (* The jitter-based route always has an answer for periodic SPP. *)
+      match Rta_baselines.Sunliu.analyze s with
+      | Error e -> Format.printf "  S&L: %s@." e
+      | Ok sl ->
+          Array.iteri
+            (fun j v ->
+              let name = (System.job s j).System.name in
+              match v with
+              | Rta_baselines.Sunliu.Bounded b ->
+                  Format.printf "  %-5s S&L bound %a@." name Time.pp b
+              | Rta_baselines.Sunliu.Unbounded ->
+                  Format.printf "  %-5s S&L unbounded@." name)
+            sl.Rta_baselines.Sunliu.per_job)
+    [ 0.2; 1.0; 3.0 ]

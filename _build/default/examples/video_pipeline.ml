@@ -1,0 +1,73 @@
+(* A bursty video-processing pipeline — the kind of inherently aperiodic
+   workload the paper's introduction motivates.
+
+   Frames arrive in bursts (scene changes produce back-to-back I/P frames),
+   cross a three-stage pipeline (decode -> enhance -> display), and share
+   the decode processor with a periodic telemetry task.  The display
+   processor is FCFS (a frame buffer), the others preemptive priority.
+
+   The example shows:
+   - exact analysis is impossible here (FCFS stage), so the engine
+     propagates arrival/departure bounds (Theorems 4-9);
+   - the resulting end-to-end bounds are sound: the simulation stays below
+     them;
+   - burst size matters: the same average rate with a larger burst needs a
+     larger deadline.
+
+   Run with: dune exec examples/video_pipeline.exe *)
+
+open Rta_model
+
+let frame_pipeline ~burst =
+  {
+    System.name = Printf.sprintf "frames(burst=%d)" burst;
+    arrival =
+      Arrival.Burst_periodic
+        { burst; period = Time.of_units 4.0; offset = 0 };
+    deadline = Time.of_units 10.0;
+    steps =
+      [|
+        { System.proc = 0; exec = Time.of_units 0.9; prio = 1 };
+        { System.proc = 1; exec = Time.of_units 1.2; prio = 1 };
+        { System.proc = 2; exec = Time.of_units 0.6; prio = 1 };
+      |];
+  }
+
+let telemetry =
+  {
+    System.name = "telemetry";
+    arrival = Arrival.Periodic { period = Time.of_units 2.0; offset = 0 };
+    deadline = Time.of_units 2.0;
+    steps = [| { System.proc = 0; exec = Time.of_units 0.3; prio = 2 } |];
+  }
+
+let analyze_burst burst =
+  let system =
+    System.make_exn
+      ~schedulers:[| Sched.Spp; Sched.Spnp; Sched.Fcfs |]
+      ~jobs:[| frame_pipeline ~burst; telemetry |]
+  in
+  let horizon = Time.of_units 120.0 and release_horizon = Time.of_units 60.0 in
+  let report = Rta_core.Analysis.run ~release_horizon ~horizon system in
+  let sim = Rta_sim.Sim.run ~release_horizon system ~horizon in
+  let bound =
+    match report.Rta_core.Analysis.per_job.(0) with
+    | Rta_core.Analysis.Bounded b -> Format.asprintf "%a" Time.pp b
+    | Rta_core.Analysis.Unbounded -> "unbounded"
+  in
+  let simulated =
+    match Rta_sim.Sim.worst_response sim 0 with
+    | Some w -> Format.asprintf "%a" Time.pp w
+    | None -> "-"
+  in
+  Format.printf
+    "burst %d: frame end-to-end bound %s, simulated worst %s, deadline %a -> \
+     %s@."
+    burst bound simulated Time.pp (Time.of_units 10.0)
+    (if report.Rta_core.Analysis.schedulable then "ADMIT" else "REJECT")
+
+let () =
+  Format.printf
+    "Video pipeline: SPP decode + SPNP enhance + FCFS display; frames burst \
+     at scene changes.@.@.";
+  List.iter analyze_burst [ 1; 2; 3; 4; 5 ]

@@ -1,0 +1,1 @@
+lib/baselines/busy_period.mli:

@@ -1,0 +1,1 @@
+lib/baselines/joseph_pandya.ml: Array Arrival Busy_period Format List Rta_model Sched System

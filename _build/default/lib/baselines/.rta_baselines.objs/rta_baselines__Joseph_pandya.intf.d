@@ -1,0 +1,1 @@
+lib/baselines/joseph_pandya.mli: Rta_model

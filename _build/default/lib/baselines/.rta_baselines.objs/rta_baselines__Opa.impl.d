@@ -1,0 +1,1 @@
+lib/baselines/opa.ml: Array Arrival Busy_period Format List Result Rta_model Sched System

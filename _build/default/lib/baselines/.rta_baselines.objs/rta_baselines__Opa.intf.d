@@ -1,0 +1,1 @@
+lib/baselines/opa.mli: Rta_model

@@ -1,0 +1,1 @@
+lib/baselines/sunliu.ml: Array Arrival Busy_period Fun List Printf Rta_model Sched System

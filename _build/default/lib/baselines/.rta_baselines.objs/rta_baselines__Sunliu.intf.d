@@ -1,0 +1,1 @@
+lib/baselines/sunliu.mli: Rta_model Stdlib

@@ -1,0 +1,1 @@
+lib/baselines/utilization.ml: List Rta_model System

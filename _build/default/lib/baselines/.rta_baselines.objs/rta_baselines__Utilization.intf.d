@@ -1,0 +1,1 @@
+lib/baselines/utilization.mli: Rta_model

@@ -1,0 +1,47 @@
+type task = { rho : int; tau : int; jitter : int }
+
+let ceil_div a b = (a + b - 1) / b
+
+(* Interference from one higher-priority task in a window of length w. *)
+let interference t w = ceil_div (w + t.jitter) t.rho * t.tau
+
+let response_time ?(blocking = 0) ?(limit = 1 lsl 20) ~task ~interferers () =
+  (* Fixed point of w = B + (q+1) tau + sum interference(w). *)
+  let rec solve q w =
+    if w > limit then None
+    else
+      let w' =
+        blocking
+        + ((q + 1) * task.tau)
+        + List.fold_left (fun acc t -> acc + interference t w) 0 interferers
+      in
+      if w' = w then Some w else solve q w'
+  in
+  (* Length of the level busy period bounds the number of self instances to
+     examine. *)
+  let busy_period_length () =
+    let all = task :: interferers in
+    let rec go l =
+      if l > limit then None
+      else
+        let l' =
+          blocking + List.fold_left (fun acc t -> acc + interference t l) 0 all
+        in
+        if l' = l then Some l else go l'
+    in
+    go 1
+  in
+  match busy_period_length () with
+  | None -> None
+  | Some busy ->
+      let q_max = max 0 (ceil_div (busy + task.jitter) task.rho - 1) in
+      let rec scan q best =
+        if q > q_max then Some best
+        else
+          match solve q ((q + 1) * task.tau) with
+          | None -> None
+          | Some w ->
+              let r = w + task.jitter - (q * task.rho) in
+              scan (q + 1) (max best r)
+      in
+      scan 0 0

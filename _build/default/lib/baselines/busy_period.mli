@@ -1,0 +1,27 @@
+(** Classic fixed-priority busy-period machinery (Lehoczky, Joseph-Pandya,
+    Tindell), shared by the baseline analyses.
+
+    Tasks here are the per-processor view of subjobs: periodic with period
+    [rho], execution [tau], release jitter [jitter] (instances nominally at
+    [m * rho] may be deferred by up to [jitter]), and blocking [b] from
+    lower-priority non-preemptable work. *)
+
+type task = { rho : int; tau : int; jitter : int }
+
+val response_time :
+  ?blocking:int ->
+  ?limit:int ->
+  task:task ->
+  interferers:task list ->
+  unit ->
+  int option
+(** Worst-case response time of [task], measured from the {e nominal}
+    release, under preemptive fixed-priority scheduling against the
+    higher-priority [interferers]:
+
+    {[ w_q = B + (q+1) tau + sum_i ceil ((w_q + J_i) / rho_i) * tau_i ]}
+
+    examined for every instance [q] in the level busy period, with
+    [R = max_q (w_q + J - q * rho)].  Returns [None] when the iteration
+    exceeds [limit] (default [2^20] ticks) — an overload, treated as
+    unbounded. *)

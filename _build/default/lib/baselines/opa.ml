@@ -1,0 +1,79 @@
+open Rta_model
+
+let domain_check system =
+  let fail fmt = Format.kasprintf (fun s -> Error s) fmt in
+  if System.processor_count system <> 1 then fail "more than one processor"
+  else if not (Sched.equal (System.scheduler_of system 0) Sched.Spp) then
+    fail "processor is not SPP"
+  else
+    let n = System.job_count system in
+    let rec collect j acc =
+      if j >= n then Ok (List.rev acc)
+      else
+        let job = System.job system j in
+        if Array.length job.System.steps <> 1 then
+          fail "job %s has more than one stage" job.System.name
+        else
+          match job.System.arrival with
+          | Arrival.Periodic { period; _ } ->
+              collect (j + 1)
+                ((j, period, job.System.steps.(0).System.exec, job.System.deadline)
+                :: acc)
+          | Arrival.Bursty _ | Arrival.Burst_periodic _
+          | Arrival.Sporadic_worst _ | Arrival.Trace _ ->
+              fail "job %s is not periodic" job.System.name
+    in
+    collect 0 []
+
+let assign system =
+  match domain_check system with
+  | Error _ as e -> e
+  | Ok tasks ->
+      let n = List.length tasks in
+      (* levels.(j) will hold job j's assigned priority (1 = highest). *)
+      let levels = Array.make n 0 in
+      let feasible_at_level unassigned (j, rho, tau, deadline) =
+        (* Schedulable at the current (lowest unassigned) level with every
+           other unassigned task as an interferer. *)
+        let interferers =
+          List.filter_map
+            (fun (j', rho', tau', _) ->
+              if j' = j then None
+              else Some { Busy_period.rho = rho'; tau = tau'; jitter = 0 })
+            unassigned
+        in
+        match
+          Busy_period.response_time
+            ~task:{ Busy_period.rho; tau; jitter = 0 }
+            ~interferers ()
+        with
+        | Some r -> r <= deadline
+        | None -> false
+      in
+      let rec fill level unassigned =
+        match unassigned with
+        | [] -> Ok ()
+        | _ -> (
+            match List.find_opt (feasible_at_level unassigned) unassigned with
+            | None -> Error "no schedulable priority assignment exists"
+            | Some ((j, _, _, _) as chosen) ->
+                levels.(j) <- level;
+                fill (level - 1) (List.filter (fun t -> t <> chosen) unassigned))
+      in
+      (match fill n tasks with
+      | Error _ as e -> e
+      | Ok () ->
+          let jobs =
+            Array.init n (fun j ->
+                let job = System.job system j in
+                {
+                  job with
+                  System.steps =
+                    Array.map
+                      (fun (s : System.step) -> { s with System.prio = levels.(j) })
+                      job.System.steps;
+                })
+          in
+          Ok (System.make_exn ~schedulers:[| Sched.Spp |] ~jobs))
+
+let schedulable_with_some_assignment system = Result.is_ok (assign system)

@@ -1,0 +1,24 @@
+(** Audsley's Optimal Priority Assignment (OPA).
+
+    The paper takes priority assignments as given (Section 3.2, "our
+    results apply to arbitrary priority assignments"); its evaluation uses
+    the Eq. 24 deadline-monotonic rule.  OPA complements that: for a single
+    SPP processor with single-stage periodic jobs it finds {e some}
+    schedulable priority assignment whenever one exists (Audsley 1991),
+    which deadline-monotonic does not guarantee once deadlines may exceed
+    periods (Lehoczky 1990).
+
+    Algorithm: for each priority level from lowest to highest, find any
+    unassigned task that meets its deadline at that level assuming all
+    other unassigned tasks have higher priority; fail if none qualifies.
+    Optimality holds because the busy-period test is independent of the
+    relative order of higher-priority tasks. *)
+
+val assign : Rta_model.System.t -> (Rta_model.System.t, string) result
+(** A system identical to the input but with priorities replaced by a
+    schedulable assignment.  [Error] if the system is outside OPA's domain
+    (must match {!Joseph_pandya}'s: one SPP processor, single-stage
+    periodic jobs) or if no assignment is schedulable. *)
+
+val schedulable_with_some_assignment : Rta_model.System.t -> bool
+(** Whether {!assign} succeeds. *)

@@ -1,0 +1,25 @@
+open Rta_model
+
+let liu_layland_bound n =
+  if n <= 0 then 1.0
+  else
+    let nf = float_of_int n in
+    nf *. ((2. ** (1. /. nf)) -. 1.)
+
+let per_processor system test =
+  let n = System.processor_count system in
+  let rec go p =
+    if p >= n then Some true
+    else
+      match System.utilization system ~proc:p with
+      | None -> None
+      | Some u ->
+          if test p u then go (p + 1) else Some false
+  in
+  go 0
+
+let rm_schedulable system =
+  per_processor system (fun p u ->
+      u <= liu_layland_bound (List.length (System.subjobs_on system p)))
+
+let under_unit_utilization system = per_processor system (fun _ u -> u < 1.0)

@@ -1,0 +1,16 @@
+(** Utilization-based admission tests (Liu & Layland 1973, reference [23]
+    of the paper): sufficient-only schedulability conditions from aggregate
+    utilization, used as the cheapest baseline. *)
+
+val liu_layland_bound : int -> float
+(** [liu_layland_bound n = n * (2^{1/n} - 1)]: the rate-monotonic
+    utilization bound for [n] tasks (~0.693 as n grows). *)
+
+val rm_schedulable : Rta_model.System.t -> bool option
+(** Liu-Layland test applied per processor (each processor's resident
+    subjobs against the bound for their count).  [None] when a utilization
+    is unavailable (trace arrivals).  Sufficient, not necessary; valid for
+    single-stage rate-monotonic systems, and a heuristic otherwise. *)
+
+val under_unit_utilization : Rta_model.System.t -> bool option
+(** Necessary condition: every processor's utilization is below 1. *)

@@ -1,0 +1,1 @@
+lib/core/analysis.ml: Array Engine Fixpoint Format Fun List Response Rta_model System Time

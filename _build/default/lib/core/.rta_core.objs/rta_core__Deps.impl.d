@@ -1,0 +1,1 @@
+lib/core/deps.ml: Array Hashtbl List Option Rta_model Sched System

@@ -1,0 +1,1 @@
+lib/core/deps.mli: Rta_model

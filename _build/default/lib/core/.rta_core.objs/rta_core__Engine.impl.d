@@ -1,0 +1,1 @@
+lib/core/engine.ml: Array Arrival Buffer Deps Hashtbl List Logs Option Printf Rta_curve Rta_model Sched System

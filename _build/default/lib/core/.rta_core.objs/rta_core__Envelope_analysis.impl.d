@@ -1,0 +1,1 @@
+lib/core/envelope_analysis.ml: Array List Printf Rta_curve Rta_model Sched

@@ -1,0 +1,1 @@
+lib/core/envelope_analysis.mli: Rta_curve Rta_model

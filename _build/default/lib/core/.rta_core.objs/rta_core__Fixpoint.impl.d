@@ -1,0 +1,1 @@
+lib/core/fixpoint.ml: Array Arrival Engine Hashtbl List Logs Option Rta_curve Rta_model Sched System

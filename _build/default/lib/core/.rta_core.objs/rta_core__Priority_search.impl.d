@@ -1,0 +1,1 @@
+lib/core/priority_search.ml: Analysis Array List Rta_model Sched System

@@ -1,0 +1,1 @@
+lib/core/priority_search.mli: Rta_model

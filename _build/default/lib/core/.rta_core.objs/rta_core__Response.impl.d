@@ -1,0 +1,1 @@
+lib/core/response.ml: Array Engine Format List Rta_curve Rta_model System Time

@@ -1,0 +1,1 @@
+lib/core/response.mli: Engine Format

@@ -1,0 +1,1 @@
+lib/core/sensitivity.ml: Analysis Array Float Option Rta_model System

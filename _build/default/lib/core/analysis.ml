@@ -1,0 +1,64 @@
+open Rta_model
+
+type verdict = Bounded of int | Unbounded
+
+type report = {
+  method_used : [ `Exact | `Approximate | `Fixpoint ];
+  per_job : verdict array;
+  schedulable : bool;
+}
+
+let of_response = function
+  | Response.Bounded r -> Bounded r
+  | Response.Unbounded -> Unbounded
+
+let of_fixpoint = function
+  | Fixpoint.Bounded r -> Bounded r
+  | Fixpoint.Unbounded -> Unbounded
+
+let finish system method_used per_job =
+  let schedulable =
+    Array.to_list per_job
+    |> List.mapi (fun j v ->
+           match v with
+           | Bounded r -> r <= (System.job system j).System.deadline
+           | Unbounded -> false)
+    |> List.for_all Fun.id
+  in
+  { method_used; per_job; schedulable }
+
+let run ?(estimator = `Direct) ?release_horizon ~horizon system =
+  match Engine.run ?release_horizon ~horizon system with
+  | Error (`Cyclic _) ->
+      let fp = Fixpoint.analyze ?release_horizon ~horizon system in
+      finish system `Fixpoint (Array.map of_fixpoint fp.Fixpoint.per_job)
+  | Ok engine ->
+      let exact = Engine.is_exact engine in
+      let estimator = if exact then `Exact else (estimator :> Response.estimator) in
+      let per_job =
+        Array.init (System.job_count system) (fun j ->
+            of_response (Response.end_to_end engine ~estimator ~job:j))
+      in
+      finish system (if exact then `Exact else `Approximate) per_job
+
+let pp_report system ppf report =
+  let method_name =
+    match report.method_used with
+    | `Exact -> "exact (Thm 1-3)"
+    | `Approximate -> "approximate (Thm 4-9)"
+    | `Fixpoint -> "fixed point (Sec. 6)"
+  in
+  Format.fprintf ppf "@[<v>analysis method: %s@," method_name;
+  Array.iteri
+    (fun j v ->
+      let job = System.job system j in
+      match v with
+      | Bounded r ->
+          Format.fprintf ppf "  %-8s response %a  deadline %a  %s@,"
+            job.System.name Time.pp r Time.pp job.System.deadline
+            (if r <= job.System.deadline then "OK" else "MISS")
+      | Unbounded ->
+          Format.fprintf ppf "  %-8s response unbounded within horizon  MISS@,"
+            job.System.name)
+    report.per_job;
+  Format.fprintf ppf "schedulable: %b@]" report.schedulable

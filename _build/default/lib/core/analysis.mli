@@ -1,0 +1,29 @@
+(** One-call front end over the analysis machinery.
+
+    Chooses the right method for the system at hand:
+
+    - all processors SPP with acyclic dependencies: the exact analysis
+      (Theorem 1-3) — [method_used = `Exact];
+    - acyclic with approximations somewhere (SPNP/FCFS processors, or mixed):
+      bound propagation (Theorems 4-9) — [`Approximate], with the chosen
+      end-to-end estimator;
+    - cyclic dependencies: the Section 6 fixed point — [`Fixpoint]. *)
+
+type verdict = Bounded of int | Unbounded
+
+type report = {
+  method_used : [ `Exact | `Approximate | `Fixpoint ];
+  per_job : verdict array;  (** worst-case end-to-end response per job *)
+  schedulable : bool;  (** all jobs bounded within their deadlines *)
+}
+
+val run :
+  ?estimator:[ `Direct | `Sum ] ->
+  ?release_horizon:int ->
+  horizon:int ->
+  Rta_model.System.t ->
+  report
+(** [estimator] (default [`Direct]) selects the end-to-end composition used
+    in the approximate regime; the exact regime ignores it. *)
+
+val pp_report : Rta_model.System.t -> Format.formatter -> report -> unit

@@ -1,0 +1,380 @@
+open Rta_model
+module Step = Rta_curve.Step
+module Pl = Rta_curve.Pl
+module Minplus = Rta_curve.Minplus
+
+let log_src = Logs.Src.create "rta.engine" ~doc:"Response-time analysis engine"
+
+module Log = (val Logs.src_log log_src)
+
+type entry = {
+  id : System.subjob_id;
+  tau : int;
+  arr_lo : Step.t;
+  arr_hi : Step.t;
+  svc_lo : Pl.t;
+  svc_hi : Pl.t;
+  dep_lo : Step.t;
+  dep_hi : Step.t;
+  exact : bool;
+}
+
+type t = {
+  system : System.t;
+  horizon : int;
+  release_horizon : int;
+  entries : entry array array;
+}
+
+let entry t (id : System.subjob_id) = t.entries.(id.job).(id.step)
+
+let is_exact t =
+  Array.for_all (Array.for_all (fun e -> e.exact)) t.entries
+
+let entry_csv t id =
+  let e = entry t id in
+  let change_points =
+    [ e.arr_lo; e.arr_hi; e.dep_lo; e.dep_hi ]
+    |> List.concat_map (fun f -> Array.to_list (Step.jumps f) |> List.map fst)
+    |> List.cons 0 |> List.sort_uniq compare
+  in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "t,arr_lo,arr_hi,dep_lo,dep_hi\n";
+  List.iter
+    (fun time ->
+      Buffer.add_string buf
+        (Printf.sprintf "%d,%d,%d,%d,%d\n" time (Step.eval e.arr_lo time)
+           (Step.eval e.arr_hi time) (Step.eval e.dep_lo time)
+           (Step.eval e.dep_hi time)))
+    change_points;
+  Buffer.contents buf
+
+(* Departure bounds from service bounds (Theorem 2 / Lemmas 1-2), with the
+   arrival caps described in engine.mli. *)
+let departures ~horizon ~tau ~arr_lo ~arr_hi ~svc_lo ~svc_hi =
+  let dep_of svc = Pl.to_step_floor_div (Pl.truncate_at svc horizon) tau in
+  let dep_lo = Step.min2 (dep_of svc_lo) arr_lo in
+  let dep_hi = Step.min2 (dep_of svc_hi) arr_hi in
+  (dep_lo, dep_hi)
+
+(* Exact SPP service (Theorem 3): avail A = t - sum of exact higher-priority
+   services; S = min over s <= t of (A(t) - A(s) + c(s-)). *)
+let spp_exact_service ~hp_services ~work =
+  let avail = Pl.sub Pl.identity (Pl.sum hp_services) in
+  Minplus.transform ~mode:`Left ~avail ~work
+
+(* Approximate static-priority service bounds (the role of Theorems 5-6;
+   SPP is the blocking-0 case).
+
+   Lower bound — level-k busy-window argument, provably pointwise sound:
+   let s0 be the start of the level-k busy period containing t, so that
+   all level-<=k queues are empty at s0.  Our service satisfies
+
+     S(t) >= c(s0-) + (t - s0) - b - sum_hp (c_hp(t) - c_hp(s0-))
+
+   (writing s0 for the busy-period start) because within (s0, t] the
+   processor is never idle while our queue is
+   backlogged, suffers at most one non-preemptive blocking (b, Eq. 15), and
+   higher-priority service is bounded by the workload that arrived after
+   s0.  Substituting bounds in the sound direction and taking the minimum
+   over all s (a superset of candidates only loosens a lower bound):
+
+     S_lo(t) = (t - b - sum_hp c_hi_hp(t))
+               + min over s <= t of (W_lo(s-) - s)
+
+   with W_lo = c_lo_self + sum_hp c_lo_hp.  Note: the recursion printed in
+   the paper's Eq. 17 (interference via hp service {e lower} bounds) is
+   unsound — see EXPERIMENTS.md for the two-job counterexample; this
+   formulation replaces it.
+
+   Upper bound — two sound components, combined by pointwise min:
+   (a) S(t) <= t - sum_hp S_lo_hp(t): total capacity minus guaranteed
+       higher-priority service (valid because S_lo_hp is pointwise sound);
+   (b) S(t) <= min over s of ((t - s) + c_hi(s)): unit service rate applied
+       to the upper-bounded own workload (Theorem 6's shape with B = t). *)
+let sp_bounds ~blocking ~hp_lo ~hp_work_lo ~hp_work_hi ~work_lo ~work_hi =
+  let lo =
+    let d =
+      Pl.sub
+        (Pl.linear ~slope:1 ~offset:(-blocking))
+        (Pl.of_step (Step.sum hp_work_hi))
+    in
+    let w_lo = Step.sum (work_lo :: hp_work_lo) in
+    let m = Minplus.prefix_min ~mode:`Left ~avail:Pl.identity ~work:w_lo in
+    (* The minimum ranges over s <= t - b (the paper's Eq. 16 domain): the
+       candidate s = t - b is bounded below by the level-k workload already
+       arrived, while s close to t would drive the bound to minus infinity
+       once arrivals stop. *)
+    Pl.add d (Pl.shift_right m blocking)
+  in
+  let hi =
+    let capacity_left = Pl.sub Pl.identity (Pl.sum hp_lo) in
+    let smoothed_work =
+      Minplus.transform ~mode:`Right ~avail:Pl.identity ~work:work_hi
+    in
+    Pl.min2 capacity_left smoothed_work
+  in
+  (Pl.prefix_max (Pl.pos lo), Pl.prefix_max (Pl.pos hi))
+
+(* Theorems 5-6 exactly as printed in the paper (Eqs. 16-19), kept for the
+   ablation study.  Known unsound as a departure lower bound (see above);
+   never used by default. *)
+let sp_bounds_as_printed ~blocking ~hp_lo ~work_lo ~work_hi =
+  let interference = Pl.sum hp_lo in
+  let lo =
+    let b_fun =
+      if blocking = 0 then Pl.sub Pl.identity interference
+      else
+        Pl.splice ~at:blocking Pl.zero
+          (Pl.sub (Pl.linear ~slope:1 ~offset:(-blocking)) interference)
+    in
+    Minplus.transform_blocked ~mode:`Left ~avail:b_fun ~work:work_lo ~blocking
+  in
+  let hi =
+    let b_fun = Pl.sub Pl.identity interference in
+    Minplus.transform ~mode:`Right ~avail:b_fun ~work:work_hi
+  in
+  (Pl.prefix_max (Pl.pos lo), Pl.prefix_max (Pl.pos hi))
+
+(* FCFS departure bounds (Theorems 7-9), built instance by instance; see
+   engine.mli for the soundness argument.  [exact_inputs] (arrivals exact
+   and release-tie-free on this processor) selects the exact Left-limit
+   utilization for the upper bound too, which makes the two bounds
+   coincide. *)
+let fcfs_departures ?(exact_inputs = false) ~horizon ~tau ~arr_lo ~arr_hi ~g_lo
+    ~g_hi () =
+  let u_lo =
+    Pl.truncate_at (Minplus.transform ~mode:`Left ~avail:Pl.identity ~work:g_lo) horizon
+  in
+  let u_hi =
+    if exact_inputs then u_lo
+    else
+      Pl.truncate_at
+        (Minplus.transform ~mode:`Right ~avail:Pl.identity ~work:g_hi)
+        horizon
+  in
+  let dep_lo =
+    let count = Step.final_value arr_lo in
+    let rec jumps i acc =
+      if i > count then List.rev acc
+      else
+        match Step.inverse arr_lo i with
+        | None -> List.rev acc
+        | Some a_i -> (
+            match Pl.inverse_geq u_lo (Step.eval g_hi a_i) with
+            | Some theta when theta <= horizon -> jumps (i + 1) ((theta, i) :: acc)
+            | Some _ | None -> List.rev acc)
+    in
+    Step.of_samples (jumps 1 [])
+  in
+  let dep_hi =
+    let count = Step.final_value arr_hi in
+    let rec jumps i acc =
+      if i > count then List.rev acc
+      else
+        match Step.inverse arr_hi i with
+        | None -> List.rev acc
+        | Some a_i -> (
+            let preceding = Step.eval_left g_lo a_i in
+            match Pl.inverse_geq u_hi (preceding + tau) with
+            | Some theta ->
+                let theta = max theta (a_i + tau) in
+                jumps (i + 1) ((theta, i) :: acc)
+            | None -> List.rev acc)
+    in
+    (* Jump times are non-decreasing in i because both the arrival inverse
+       and the workload-before are; of_samples tolerates ties. *)
+    Step.of_samples (jumps 1 [])
+  in
+  (Step.min2 dep_lo arr_lo, Step.min2 dep_hi arr_hi)
+
+let run ?(variant = `Sound) ?(extra_blocking = fun _ -> 0) ?release_horizon
+    ~horizon system =
+  let release_horizon = Option.value ~default:horizon release_horizon in
+  if release_horizon > horizon then
+    invalid_arg "Engine.run: release_horizon exceeds horizon";
+  let bounds_of ~blocking ~hp_entries ~work_lo ~work_hi =
+    let hp_tau e = (System.step system e.id).System.exec in
+    match variant with
+    | `Sound ->
+        sp_bounds ~blocking
+          ~hp_lo:(List.map (fun e -> e.svc_lo) hp_entries)
+          ~hp_work_lo:(List.map (fun e -> Step.scale e.arr_lo (hp_tau e)) hp_entries)
+          ~hp_work_hi:(List.map (fun e -> Step.scale e.arr_hi (hp_tau e)) hp_entries)
+          ~work_lo ~work_hi
+    | `As_printed ->
+        sp_bounds_as_printed ~blocking
+          ~hp_lo:(List.map (fun e -> e.svc_lo) hp_entries)
+          ~work_lo ~work_hi
+  in
+  match Deps.compute system with
+  | Deps.Cyclic stuck -> Error (`Cyclic stuck)
+  | Deps.Acyclic order ->
+      let entries =
+        Array.init (System.job_count system) (fun j ->
+            Array.make (Array.length (System.job system j).steps)
+              {
+                id = { System.job = j; step = 0 };
+                tau = 0;
+                arr_lo = Step.zero;
+                arr_hi = Step.zero;
+                svc_lo = Pl.zero;
+                svc_hi = Pl.zero;
+                dep_lo = Step.zero;
+                dep_hi = Step.zero;
+                exact = false;
+              })
+      in
+      let get (id : System.subjob_id) = entries.(id.job).(id.step) in
+      let compute (id : System.subjob_id) =
+        let s = System.step system id in
+        let tau = s.System.exec in
+        (* Arrival bounds: first stage is the exact release trace; later
+           stages inherit the predecessor's departure bounds. *)
+        let arr_lo, arr_hi, arr_exact =
+          if id.step = 0 then begin
+            let f =
+              Arrival.arrival_function (System.job system id.job).System.arrival
+                ~horizon:release_horizon
+            in
+            (f, f, true)
+          end
+          else
+            let pred = get { id with System.step = id.step - 1 } in
+            (pred.dep_lo, pred.dep_hi, pred.exact)
+        in
+        let work_lo = Step.scale arr_lo tau and work_hi = Step.scale arr_hi tau in
+        let svc_lo, svc_hi, exact =
+          match System.scheduler_of system s.System.proc with
+          | Sched.Spp ->
+              let hp = System.higher_priority_on system id in
+              let hp_entries = List.map get hp in
+              let all_exact =
+                arr_exact
+                && extra_blocking id = 0
+                && List.for_all (fun e -> e.exact) hp_entries
+              in
+              if all_exact then begin
+                let svc =
+                  spp_exact_service
+                    ~hp_services:(List.map (fun e -> e.svc_lo) hp_entries)
+                    ~work:work_lo
+                in
+                (svc, svc, true)
+              end
+              else
+                let lo, hi =
+                  bounds_of ~blocking:(extra_blocking id) ~hp_entries ~work_lo
+                    ~work_hi
+                in
+                (lo, hi, false)
+          | Sched.Spnp ->
+              let hp_entries = List.map get (System.higher_priority_on system id) in
+              let lo, hi =
+                bounds_of
+                  ~blocking:(System.max_blocking system id + extra_blocking id)
+                  ~hp_entries ~work_lo ~work_hi
+              in
+              (lo, hi, false)
+          | Sched.Fcfs ->
+              (* Service curves synthesized from the departure bounds below;
+                 placeholders here, fixed up after departures are known. *)
+              (Pl.zero, Pl.zero, false)
+        in
+        let dep_lo, dep_hi, svc_lo, svc_hi, exact =
+          match System.scheduler_of system s.System.proc with
+          | Sched.Spp | Sched.Spnp ->
+              let dep_lo, dep_hi =
+                departures ~horizon ~tau ~arr_lo ~arr_hi ~svc_lo ~svc_hi
+              in
+              (dep_lo, dep_hi, svc_lo, svc_hi, exact)
+          | Sched.Fcfs ->
+              let residents = System.subjobs_on system s.System.proc in
+              (* A resident's arrival bounds come from its chain
+                 predecessor's departures (or its release trace at stage 0)
+                 — the resident's own entry is not a dependency and may not
+                 be computed yet. *)
+              let arrivals_of (other : System.subjob_id) =
+                if other = id then (arr_lo, arr_hi)
+                else if other.System.step = 0 then begin
+                  let f =
+                    Arrival.arrival_function
+                      (System.job system other.System.job).System.arrival
+                      ~horizon:release_horizon
+                  in
+                  (f, f)
+                end
+                else
+                  let pred = get { other with System.step = other.System.step - 1 } in
+                  (pred.dep_lo, pred.dep_hi)
+              in
+              let workload_of which other =
+                let lo, hi = arrivals_of other in
+                let other_tau = (System.step system other).System.exec in
+                match which with
+                | `Lo -> Step.scale lo other_tau
+                | `Hi -> Step.scale hi other_tau
+              in
+              let g_lo = Step.sum (List.map (workload_of `Lo) residents) in
+              let g_hi = Step.sum (List.map (workload_of `Hi) residents) in
+              (* Beyond the paper: with exact resident arrivals and no
+                 release ties on the processor, the FCFS order is fully
+                 determined and the lower/upper constructions coincide —
+                 the analysis is exact and exactness propagates down the
+                 chain.  (The paper deems exact FCFS "difficult, if not
+                 impossible" because of ties; absence of ties is checkable
+                 per instance, so we claim exactness exactly when it
+                 holds.) *)
+              let inputs_exact =
+                List.for_all
+                  (fun other ->
+                    let lo, hi = arrivals_of other in
+                    Step.equal lo hi)
+                  residents
+              in
+              let tie_free =
+                let seen = Hashtbl.create 64 in
+                let ok = ref true in
+                List.iter
+                  (fun other ->
+                    let lo, _ = arrivals_of other in
+                    let prev = ref (Step.init_value lo) in
+                    Array.iter
+                      (fun (t, v) ->
+                        (* Simultaneous instances of the same subjob (jump
+                           by more than 1) are ties too. *)
+                        if v - !prev > 1 then ok := false;
+                        prev := v;
+                        match Hashtbl.find_opt seen t with
+                        | Some owner when owner <> other -> ok := false
+                        | Some _ -> ()
+                        | None -> Hashtbl.add seen t other)
+                      (Step.jumps lo))
+                  residents;
+                !ok
+              in
+              let exact_inputs = inputs_exact && tie_free in
+              let dep_lo, dep_hi =
+                fcfs_departures ~exact_inputs ~horizon ~tau ~arr_lo ~arr_hi
+                  ~g_lo ~g_hi ()
+              in
+              let fcfs_exact = exact_inputs && Step.equal dep_lo dep_hi in
+              (* Thm 8/9-flavoured service curves for inspection. *)
+              let svc_lo = Pl.of_step (Step.scale dep_lo tau) in
+              let svc_hi =
+                if fcfs_exact then svc_lo
+                else Pl.add (Pl.of_step (Step.scale dep_hi tau)) (Pl.const tau)
+              in
+              (dep_lo, dep_hi, svc_lo, svc_hi, fcfs_exact)
+        in
+        Log.debug (fun m ->
+            m "subjob %s.%d: %s, %d instances in [lo..hi] = [%d..%d]"
+              (System.job system id.job).System.name (id.step + 1)
+              (if exact then "exact" else "bounded")
+              (Step.final_value arr_lo) (Step.final_value dep_lo)
+              (Step.final_value dep_hi));
+        entries.(id.job).(id.step) <-
+          { id; tau; arr_lo; arr_hi; svc_lo; svc_hi; dep_lo; dep_hi; exact }
+      in
+      List.iter compute order;
+      Ok { system; horizon; release_horizon; entries }

@@ -1,0 +1,133 @@
+(** The paper's response-time analysis engine (Sections 4.1-4.2).
+
+    Walks the subjobs of a system in dependency order ({!Deps}) and computes,
+    for every subjob, bounds on its arrival, service and departure functions:
+
+    - on an SPP processor whose inputs are exact, Theorem 3 gives the
+      {e exact} service function and hence exact departures (Theorem 2);
+    - on an SPP/SPNP processor with bounded inputs, Theorems 5-6 (with
+      blocking Eq. 15; blocking 0 for SPP) give lower/upper service bounds,
+      and Lemmas 1-2 turn them into departure/arrival bounds;
+    - on an FCFS processor, Theorems 7-9 bound departures through the
+      utilization function.
+
+    Conventions beyond the paper's text (all documented choices err on the
+    sound side; see DESIGN.md section 4):
+
+    - minima over real time are evaluated with left limits at workload
+      discontinuities ([`Left] mode) for exact/lower quantities and with the
+      right-continuous values ([`Right] mode) for upper quantities;
+    - departure lower bounds are capped by the arrival lower bound (an
+      instance not guaranteed to have arrived cannot be guaranteed to have
+      departed), and departure upper bounds by the arrival upper bound;
+    - service bounds are monotonized with the running maximum, which is
+      sound because true service functions are non-decreasing;
+    - FCFS bounds are built per instance:
+      the i-th departure is guaranteed by the time the (lower-bounded)
+      utilization reaches the upper-bounded workload arrived up to the
+      latest possible arrival of instance i, and can occur no earlier than
+      the time the upper-bounded utilization reaches the lower-bounded
+      workload that must precede the earliest possible arrival of instance
+      i plus one execution time (Theorem 9's [+ tau]). *)
+
+type entry = {
+  id : Rta_model.System.subjob_id;
+  tau : int;  (** execution time of this subjob *)
+  arr_lo : Rta_curve.Step.t;  (** lower bound on the arrival function *)
+  arr_hi : Rta_curve.Step.t;  (** upper bound on the arrival function *)
+  svc_lo : Rta_curve.Pl.t;  (** lower service curve (Thm 3/5/8) *)
+  svc_hi : Rta_curve.Pl.t;  (** upper service curve (Thm 3/6/9) *)
+  dep_lo : Rta_curve.Step.t;  (** lower bound on the departure function *)
+  dep_hi : Rta_curve.Step.t;  (** upper bound on the departure function *)
+  exact : bool;
+      (** true when [arr_lo = arr_hi] and [dep_lo = dep_hi] describe the
+          true functions exactly: SPP with exact inputs, or FCFS with exact
+          tie-free inputs (an extension beyond the paper; ties are what
+          made the paper deem exact FCFS infeasible). *)
+}
+
+type t = {
+  system : Rta_model.System.t;
+  horizon : int;
+  release_horizon : int;
+  entries : entry array array;  (** indexed by job, then step *)
+}
+
+val run :
+  ?variant:[ `Sound | `As_printed ] ->
+  ?extra_blocking:(Rta_model.System.subjob_id -> int) ->
+  ?release_horizon:int ->
+  horizon:int ->
+  Rta_model.System.t ->
+  (t, [ `Cyclic of Rta_model.System.subjob_id list ]) result
+(** Analyze the system over [0, horizon].  First-stage releases are taken
+    in [0, release_horizon] (default [horizon]); analyzing with
+    [release_horizon < horizon] leaves slack for in-flight instances to
+    depart, avoiding spurious [Unbounded] verdicts at the horizon edge.
+
+    [variant] selects the SPP/SPNP approximate bound construction:
+    [`Sound] (default) uses the level-k busy-window formulation proved in
+    engine.ml; [`As_printed] reproduces the paper's Eqs. 16-19 literally,
+    whose lower bound is demonstrably unsound (see EXPERIMENTS.md) — it is
+    retained only for the ablation study.  The SPP exact path and FCFS are
+    unaffected by [variant].
+
+    [extra_blocking] models contention for shared resources other than the
+    processors — the second open problem of the paper's Section 6 — as a
+    per-subjob bound on the time lower-priority work can hold a resource
+    the subjob needs (e.g. the longest outside critical section under a
+    priority-ceiling protocol).  A non-zero value forces the bound path
+    even on SPP processors (blocking makes the Theorem 3 service function
+    inexact) and adds to Eq. 15's blocking under SPNP.  Default: no
+    resource blocking. *)
+
+val entry : t -> Rta_model.System.subjob_id -> entry
+
+val entry_csv : t -> Rta_model.System.subjob_id -> string
+(** The entry's four counting functions (arrival and departure bounds) as
+    CSV over their merged change points: [t, arr_lo, arr_hi, dep_lo,
+    dep_hi].  For plotting an analysis externally. *)
+
+val is_exact : t -> bool
+(** Whether every entry is exact (the SPP/Exact regime: all processors SPP
+    and the dependency order acyclic). *)
+
+(** {1 Low-level per-processor bound builders}
+
+    Shared with {!Fixpoint}, which re-derives arrival bounds from response
+    variables instead of chain propagation. *)
+
+val sp_bounds :
+  blocking:int ->
+  hp_lo:Rta_curve.Pl.t list ->
+  hp_work_lo:Rta_curve.Step.t list ->
+  hp_work_hi:Rta_curve.Step.t list ->
+  work_lo:Rta_curve.Step.t ->
+  work_hi:Rta_curve.Step.t ->
+  Rta_curve.Pl.t * Rta_curve.Pl.t
+(** Sound SPP/SPNP service bounds (lower, upper); see the implementation
+    comment for the proof sketch. *)
+
+val fcfs_departures :
+  ?exact_inputs:bool ->
+  horizon:int ->
+  tau:int ->
+  arr_lo:Rta_curve.Step.t ->
+  arr_hi:Rta_curve.Step.t ->
+  g_lo:Rta_curve.Step.t ->
+  g_hi:Rta_curve.Step.t ->
+  unit ->
+  Rta_curve.Step.t * Rta_curve.Step.t
+(** FCFS departure bounds (lower, upper) from the processor's total
+    workload bounds (Theorems 7-9).  With [exact_inputs] (exact, tie-free
+    arrivals) the bounds coincide: the FCFS analysis is exact. *)
+
+val departures :
+  horizon:int ->
+  tau:int ->
+  arr_lo:Rta_curve.Step.t ->
+  arr_hi:Rta_curve.Step.t ->
+  svc_lo:Rta_curve.Pl.t ->
+  svc_hi:Rta_curve.Pl.t ->
+  Rta_curve.Step.t * Rta_curve.Step.t
+(** Theorem 2 / Lemmas 1-2 with arrival caps. *)

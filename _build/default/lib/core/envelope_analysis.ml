@@ -1,0 +1,162 @@
+open Rta_model
+module Step = Rta_curve.Step
+module Pl = Rta_curve.Pl
+module Minplus = Rta_curve.Minplus
+module Envelope = Rta_curve.Envelope
+
+type source = {
+  name : string;
+  envelope : Envelope.t;
+  tau : int;
+  prio : int;
+}
+
+type verdict = Bounded of int | Unbounded
+
+(* Cumulative worst-case workload of a source over window lengths: the
+   envelope materialized as its critical-instant counting function, scaled
+   by the execution time.  Exact for subadditive envelopes (all the
+   Envelope constructors). *)
+let workload source ~window =
+  Step.scale (Envelope.worst_arrival_function source.envelope ~horizon:window) source.tau
+
+(* Length of the longest level busy period: the least fixed point of
+   d = blocking + sum of interfering workloads over [0, d].  All deviations
+   are attained inside it (the processor has provably drained by then).
+   [None] when the iteration exceeds the limit: overload. *)
+let busy_window ~blocking ~interfering =
+  let limit = 1 lsl 22 in
+  let demand d =
+    blocking
+    + List.fold_left (fun acc src -> acc + Step.eval (workload src ~window:d) d) 0 interfering
+  in
+  let rec iterate d =
+    if d > limit then None
+    else
+      let d' = max 1 (demand d) in
+      if d' = d then Some d else iterate d'
+  in
+  iterate 1
+
+let validate sources i =
+  if i < 0 || i >= List.length sources then
+    invalid_arg "Envelope_analysis: source index out of range";
+  List.iter
+    (fun s ->
+      if s.tau < 1 then
+        invalid_arg (Printf.sprintf "Envelope_analysis: source %s: tau must be >= 1" s.name))
+    sources
+
+let response_bound ~sched ~sources i =
+  validate sources i;
+  let self = List.nth sources i in
+  let interfering, blocking =
+    match sched with
+    | Sched.Fcfs -> (sources, 0)
+    | Sched.Spp | Sched.Spnp ->
+        let hp = List.filter (fun s -> s.prio < self.prio) sources in
+        let blocking =
+          match sched with
+          | Sched.Spnp ->
+              List.fold_left
+                (fun acc s -> if s.prio > self.prio then max acc s.tau else acc)
+                0 sources
+          | Sched.Spp | Sched.Fcfs -> 0
+        in
+        (self :: hp, blocking)
+  in
+  match busy_window ~blocking ~interfering with
+  | None -> Unbounded
+  | Some window ->
+      (* Service available to this source over the busy window. *)
+      let others =
+        List.filter (fun s -> s != self && List.memq s interfering) interfering
+      in
+      let interference =
+        Pl.sum (List.map (fun s -> Pl.of_step (workload s ~window)) others)
+      in
+      let beta =
+        Pl.truncate_at
+          (Pl.prefix_max
+             (Pl.pos (Pl.sub (Pl.linear ~slope:1 ~offset:(-blocking)) interference)))
+          (window + 1)
+      in
+      let alpha = Pl.truncate_at (Pl.of_step (workload self ~window)) (window + 1) in
+      (match Minplus.horizontal_deviation ~upper:alpha ~lower:beta with
+      | Some d -> Bounded d
+      | None -> Unbounded)
+
+let all_bounds ~sched ~sources =
+  Array.init (List.length sources) (response_bound ~sched ~sources)
+
+type pipeline_source = {
+  p_name : string;
+  p_envelope : Envelope.t;
+  taus : int array;
+  p_prio : int;
+}
+
+type pipeline_result = {
+  end_to_end : verdict array;
+  per_stage : verdict array array;
+}
+
+let pipeline_bounds ~scheds ~sources =
+  let stages = Array.length scheds in
+  List.iter
+    (fun s ->
+      if Array.length s.taus <> stages then
+        invalid_arg
+          (Printf.sprintf
+             "Envelope_analysis.pipeline_bounds: source %s has %d stages, \
+              expected %d"
+             s.p_name (Array.length s.taus) stages))
+    sources;
+  let n = List.length sources in
+  let per_stage = Array.make_matrix n stages Unbounded in
+  (* Current envelope of every source entering the stage under analysis.
+     If any source's stage bound diverges, its downstream arrivals have no
+     envelope, so every later stage of every source is unsound: the whole
+     tail is poisoned (left Unbounded). *)
+  let envelopes = Array.of_list (List.map (fun s -> s.p_envelope) sources) in
+  let poisoned = ref false in
+  for k = 0 to stages - 1 do
+    if not !poisoned then begin
+      let stage_sources =
+        List.mapi
+          (fun i s ->
+            { name = s.p_name; envelope = envelopes.(i); tau = s.taus.(k); prio = s.p_prio })
+          sources
+      in
+      let died = ref false in
+      List.iteri
+        (fun i s ->
+          match response_bound ~sched:scheds.(k) ~sources:stage_sources i with
+          | Bounded r ->
+              per_stage.(i).(k) <- Bounded r;
+              envelopes.(i) <-
+                Envelope.widen envelopes.(i) ~jitter:(max 0 (r - s.taus.(k)))
+          | Unbounded -> died := true)
+        sources;
+      if !died then poisoned := true
+    end
+  done;
+  let end_to_end =
+    Array.init n (fun i ->
+        Array.fold_left
+          (fun acc v ->
+            match (acc, v) with
+            | Bounded a, Bounded b -> Bounded (a + b)
+            | Unbounded, _ | _, Unbounded -> Unbounded)
+          (Bounded 0) per_stage.(i))
+  in
+  { end_to_end; per_stage }
+
+let schedulable ~sched ~deadlines ~sources =
+  if List.length deadlines <> List.length sources then
+    invalid_arg "Envelope_analysis.schedulable: deadline count mismatch";
+  List.for_all2
+    (fun deadline verdict ->
+      match verdict with Bounded r -> r <= deadline | Unbounded -> false)
+    deadlines
+    (Array.to_list (all_bounds ~sched ~sources))

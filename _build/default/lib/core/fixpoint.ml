@@ -1,0 +1,152 @@
+open Rta_model
+module Step = Rta_curve.Step
+
+let log_src = Logs.Src.create "rta.fixpoint" ~doc:"Section 6 fixed-point analysis"
+
+module Log = (val Logs.src_log log_src)
+
+type verdict = Bounded of int | Unbounded
+type result = {
+  per_job : verdict array;
+  per_stage : verdict array array;
+  iterations : int;
+}
+
+(* Sentinel for "no bound within the horizon": larger than any reachable
+   completion offset, so joins keep it absorbing. *)
+let unbounded_sentinel horizon = (2 * horizon) + 1
+
+(* The unknown vector X assigns every subjob a bound on its COMPLETION time
+   relative to the job's release (not a per-stage latency: summing per-stage
+   latencies measured from optimistic arrivals would double-count the
+   arrival uncertainty window and the iteration would diverge).  Given X:
+
+   - stage st's arrival is bracketed by release + best-case prefix (earliest)
+     and release + X_{st-1} (latest);
+   - local departure bounds follow from the per-processor machinery;
+   - X'_st = max over instances m of (dep_lo^{-1}(m) - release(m)).
+
+   X grows monotonically (joined with the previous iterate); convergence
+   yields sound completion bounds, and the end-to-end response is X at the
+   last stage (the Theorem 1 shape applied to departure lower bounds). *)
+let analyze ?(max_iterations = 64) ?release_horizon ~horizon system =
+  let release_horizon = Option.value ~default:horizon release_horizon in
+  let n_jobs = System.job_count system in
+  let chain j = (System.job system j).System.steps in
+  let release_trace =
+    Array.init n_jobs (fun j ->
+        Arrival.arrival_function (System.job system j).System.arrival
+          ~horizon:release_horizon)
+  in
+  let sentinel = unbounded_sentinel horizon in
+  let best_prefix j st =
+    (* Sum of execution times of stages 0..st-1 (earliest start of stage
+       st after release). *)
+    let acc = ref 0 in
+    for i = 0 to st - 1 do
+      acc := !acc + (chain j).(i).System.exec
+    done;
+    !acc
+  in
+  (* X.(j).(st): completion bound of stage st relative to release. *)
+  let x =
+    Array.init n_jobs (fun j ->
+        Array.init
+          (Array.length (chain j))
+          (fun st -> best_prefix j st + (chain j).(st).System.exec))
+  in
+  let arr_bounds j st =
+    let f = release_trace.(j) in
+    if st = 0 then (f, f)
+    else
+      let latest = min x.(j).(st - 1) sentinel in
+      (Step.shift_right f latest, Step.shift_right f (best_prefix j st))
+  in
+  let iterations = ref 0 in
+  let changed = ref true in
+  while !changed && !iterations < max_iterations do
+    incr iterations;
+    changed := false;
+    let x' = Array.map Array.copy x in
+    for p = 0 to System.processor_count system - 1 do
+      let residents = System.subjobs_on system p in
+      let resident_arr =
+        List.map
+          (fun (id : System.subjob_id) ->
+            (id, arr_bounds id.System.job id.System.step))
+          residents
+      in
+      let arr_of id = List.assoc id resident_arr in
+      let work_of id =
+        let tau = (System.step system id).System.exec in
+        let lo, hi = arr_of id in
+        (Step.scale lo tau, Step.scale hi tau)
+      in
+      let memo = Hashtbl.create 8 in
+      let rec svc_bounds_of sub =
+        match Hashtbl.find_opt memo sub with
+        | Some b -> b
+        | None ->
+            let b = svc_bounds_compute sub in
+            Hashtbl.add memo sub b;
+            b
+      and svc_bounds_compute sub =
+        let s_tau = (System.step system sub).System.exec in
+        let s_arr_lo, s_arr_hi = arr_of sub in
+        let s_hp = System.higher_priority_on system sub in
+        Engine.sp_bounds
+          ~blocking:
+            (match System.scheduler_of system p with
+            | Sched.Spnp -> System.max_blocking system sub
+            | Sched.Spp | Sched.Fcfs -> 0)
+          ~hp_lo:(List.map (fun h -> fst (svc_bounds_of h)) s_hp)
+          ~hp_work_lo:(List.map (fun h -> fst (work_of h)) s_hp)
+          ~hp_work_hi:(List.map (fun h -> snd (work_of h)) s_hp)
+          ~work_lo:(Step.scale s_arr_lo s_tau)
+          ~work_hi:(Step.scale s_arr_hi s_tau)
+      in
+      let process_subjob (id : System.subjob_id) =
+        let tau = (System.step system id).System.exec in
+        let arr_lo, arr_hi = arr_of id in
+        let dep_lo, _dep_hi =
+          match System.scheduler_of system p with
+          | Sched.Fcfs ->
+              let g_lo = Step.sum (List.map (fun i -> fst (work_of i)) residents) in
+              let g_hi = Step.sum (List.map (fun i -> snd (work_of i)) residents) in
+              Engine.fcfs_departures ~horizon ~tau ~arr_lo ~arr_hi ~g_lo ~g_hi ()
+          | Sched.Spp | Sched.Spnp ->
+              let svc_lo, svc_hi = svc_bounds_of id in
+              Engine.departures ~horizon ~tau ~arr_lo ~arr_hi ~svc_lo ~svc_hi
+        in
+        let releases = release_trace.(id.System.job) in
+        let count = Step.final_value releases in
+        let rec worst m acc =
+          if m > count then acc
+          else
+            match (Step.inverse dep_lo m, Step.inverse releases m) with
+            | Some d, Some rel -> worst (m + 1) (max acc (d - rel))
+            | None, _ | _, None -> sentinel
+        in
+        let prev = x.(id.System.job).(id.System.step) in
+        let r = if count = 0 then prev else min (worst 1 0) sentinel in
+        if r > prev then begin
+          x'.(id.System.job).(id.System.step) <- r;
+          changed := true
+        end
+      in
+      List.iter process_subjob residents
+    done;
+    Array.iteri (fun j row -> Array.blit row 0 x.(j) 0 (Array.length row)) x';
+    Log.debug (fun m ->
+        m "iteration %d: %s" !iterations
+          (if !changed then "changed" else "stable"))
+  done;
+  let stage_verdict r = if r >= sentinel then Unbounded else Bounded r in
+  let per_stage = Array.map (Array.map stage_verdict) x in
+  let per_job =
+    Array.map
+      (fun row ->
+        if !changed then Unbounded else row.(Array.length row - 1) |> stage_verdict)
+      x
+  in
+  { per_job; per_stage; iterations = !iterations }

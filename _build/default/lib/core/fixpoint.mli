@@ -1,0 +1,44 @@
+(** Fixed-point analysis for systems with cyclic dependencies — the
+    extension sketched in the paper's conclusion (Section 6).
+
+    When chains revisit processors ("physical loops") or priority structures
+    interlock across processors ("logical loops"), the arrival function of a
+    subjob can transitively depend on its own departure function and
+    {!Engine} cannot order the computation.  Following the paper's proposal,
+    the per-subjob worst-case local response times become an unknown vector
+    [X] and the analysis iterates [X <- F(X)] from below:
+
+    - given [X], subjob [T_kj]'s arrival function is bracketed from the
+      job's release trace alone: instances reach stage [j] no earlier than
+      release + (sum of upstream execution times) and no later than
+      release + (sum of upstream response bounds [X_ki]);
+    - with every subjob's arrival bracketed, per-processor service and
+      departure bounds follow from the same local machinery as {!Engine}
+      (Theorems 5-9), with no chain propagation — cycles are broken;
+    - new local responses [X'_kj = max_m (dep_lo^{-1}(m) - arr_hi^{-1}(m))]
+      (Eq. 12).
+
+    [F] is monotone (forced by joining with the previous iterate), so the
+    iteration either stabilizes — a sound fixed point — or some response
+    exceeds the horizon and the job set is rejected.
+
+    The module accepts acyclic systems too, which makes it directly
+    comparable to {!Engine} (the ablation benchmark measures the price of
+    breaking cycles). *)
+
+type verdict = Bounded of int | Unbounded
+
+type result = {
+  per_job : verdict array;  (** end-to-end bound per job (Theorem 4 sum) *)
+  per_stage : verdict array array;  (** local response bound per subjob *)
+  iterations : int;
+}
+
+val analyze :
+  ?max_iterations:int ->
+  ?release_horizon:int ->
+  horizon:int ->
+  Rta_model.System.t ->
+  result
+(** [max_iterations] defaults to 64; hitting it yields [Unbounded] for the
+    jobs still changing. *)

@@ -1,0 +1,86 @@
+open Rta_model
+
+type outcome =
+  | Schedulable of System.t
+  | No_assignment_found of { exhaustive : bool; tried : int }
+
+(* All permutations of a list (n! — callers bound n through [limit]). *)
+let rec permutations = function
+  | [] -> [ [] ]
+  | l ->
+      List.concat_map
+        (fun x ->
+          let rest = List.filter (fun y -> y <> x) l in
+          List.map (fun p -> x :: p) (permutations rest))
+        l
+
+let with_priorities system assignment =
+  (* [assignment]: (subjob_id, prio) pairs covering every subjob on
+     priority-scheduled processors. *)
+  let jobs =
+    Array.init (System.job_count system) (fun j ->
+        let job = System.job system j in
+        {
+          job with
+          System.steps =
+            Array.mapi
+              (fun st (s : System.step) ->
+                match List.assoc_opt { System.job = j; step = st } assignment with
+                | Some prio -> { s with System.prio = prio }
+                | None -> s)
+              job.System.steps;
+        })
+  in
+  let schedulers =
+    Array.init (System.processor_count system) (System.scheduler_of system)
+  in
+  System.make_exn ~schedulers ~jobs
+
+let search ?(estimator = `Direct) ?(limit = 5000) ?release_horizon ~horizon system =
+  let admitted candidate =
+    (Analysis.run ~estimator ?release_horizon ~horizon candidate).Analysis.schedulable
+  in
+  if admitted system then Schedulable system
+  else begin
+    (* Candidate per-processor orders: all permutations of the residents of
+       every SPP/SPNP processor. *)
+    let per_proc_orders =
+      List.init (System.processor_count system) (fun p ->
+          match System.scheduler_of system p with
+          | Sched.Fcfs -> [ [] ]
+          | Sched.Spp | Sched.Spnp ->
+              let residents = System.subjobs_on system p in
+              permutations residents
+              |> List.map (fun order -> List.mapi (fun i id -> (id, i + 1)) order))
+    in
+    let tried = ref 0 in
+    let budget_blown = ref false in
+    (* Depth-first product of the per-processor choices. *)
+    let rec explore chosen = function
+      | [] ->
+          if !tried >= limit then begin
+            budget_blown := true;
+            None
+          end
+          else begin
+            incr tried;
+            let candidate = with_priorities system (List.concat chosen) in
+            if admitted candidate then Some candidate else None
+          end
+      | orders :: rest ->
+          let rec try_orders = function
+            | [] -> None
+            | order :: others -> (
+                if !budget_blown then None
+                else
+                  match explore (order :: chosen) rest with
+                  | Some _ as hit -> hit
+                  | None -> try_orders others)
+          in
+          try_orders orders
+    in
+    (* The Eq. 24 assignment was [system] itself (already tried above). *)
+    match explore [] per_proc_orders with
+    | Some candidate -> Schedulable candidate
+    | None -> No_assignment_found { exhaustive = not !budget_blown; tried = !tried }
+  end

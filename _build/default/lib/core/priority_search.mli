@@ -1,0 +1,32 @@
+(** Searching the priority-assignment space with the analysis as oracle.
+
+    The paper's results hold for arbitrary priority assignments (Section
+    3.2) and its evaluation fixes the Eq. 24 deadline-monotonic rule.  On
+    distributed systems neither deadline-monotonic nor Audsley's OPA is
+    optimal, so this module provides a bounded exhaustive search: enumerate
+    per-processor priority orders (priorities only matter relative to the
+    other residents of the same processor) and accept the first assignment
+    the analysis proves schedulable.
+
+    The search space is the product over processors of (residents!)
+    permutations; [limit] caps the number of analysis runs, so the search
+    is complete only when the space fits under the cap (it reports which).
+    Eq. 24 is always probed first — in the common case it succeeds
+    immediately and the search is free. *)
+
+type outcome =
+  | Schedulable of Rta_model.System.t
+      (** a priority assignment the analysis admits *)
+  | No_assignment_found of { exhaustive : bool; tried : int }
+      (** [exhaustive] = the whole space was enumerated, so no static
+          priority assignment is admitted by this analysis *)
+
+val search :
+  ?estimator:[ `Direct | `Sum ] ->
+  ?limit:int ->
+  ?release_horizon:int ->
+  horizon:int ->
+  Rta_model.System.t ->
+  outcome
+(** [limit] defaults to 5000 analysis runs.  FCFS processors are left
+    untouched (priorities are irrelevant there). *)

@@ -1,0 +1,50 @@
+open Rta_model
+
+let scale_executions system factor =
+  if factor <= 0. then invalid_arg "Sensitivity.scale_executions: factor must be positive";
+  let scale_step (s : System.step) =
+    let exec = int_of_float (Float.ceil (float_of_int s.System.exec *. factor)) in
+    { s with System.exec = max 1 exec }
+  in
+  let jobs =
+    Array.init (System.job_count system) (fun j ->
+        let job = System.job system j in
+        { job with System.steps = Array.map scale_step job.System.steps })
+  in
+  let schedulers =
+    Array.init (System.processor_count system) (System.scheduler_of system)
+  in
+  System.make_exn ~schedulers ~jobs
+
+let critical_scaling ?(estimator = `Direct) ?release_horizon ?(precision = 0.01)
+    ?(upper_limit = 4.0) ~horizon system =
+  if precision <= 0. then invalid_arg "Sensitivity.critical_scaling: precision";
+  if upper_limit <= 0. then invalid_arg "Sensitivity.critical_scaling: upper_limit";
+  let admitted factor =
+    let scaled = scale_executions system factor in
+    (Analysis.run ~estimator ?release_horizon ~horizon scaled).Analysis.schedulable
+  in
+  (* Establish a feasible lower anchor; even tiny budgets can fail when a
+     deadline is shorter than the chain's floor of one tick per stage. *)
+  let epsilon = 1e-6 in
+  if not (admitted epsilon) then None
+  else begin
+    (* Grow the feasible anchor geometrically, then bisect the bracket. *)
+    let rec grow lo =
+      let next = lo *. 2. in
+      if next >= upper_limit then (lo, upper_limit)
+      else if admitted next then grow next
+      else (lo, next)
+    in
+    let lo0, hi0 = if admitted upper_limit then (upper_limit, upper_limit) else grow epsilon in
+    let rec bisect lo hi =
+      if hi -. lo <= precision then lo
+      else
+        let mid = (lo +. hi) /. 2. in
+        if admitted mid then bisect mid hi else bisect lo mid
+    in
+    Some (if lo0 >= hi0 then upper_limit else bisect lo0 hi0)
+  end
+
+let utilization_headroom system =
+  Option.map (fun u -> 1. -. u) (System.max_utilization system)

@@ -1,0 +1,36 @@
+(** Sensitivity analysis: how much load headroom does a schedulable system
+    have, and how far over budget is an unschedulable one?
+
+    The classic design-space question (supported by tools like MAST): the
+    {e critical scaling factor} is the largest multiplier [lambda] such
+    that the system with every execution time scaled by [lambda] is still
+    provably schedulable.  [lambda > 1] measures slack; [lambda < 1] says
+    by how much execution budgets must shrink.
+
+    Scaling preserves the arrival patterns and deadlines; execution times
+    are scaled with ceiling (conservative).  The search runs the full
+    analysis ({!Analysis.run}) at each probe, so the result respects
+    whichever method (exact / bounds / fixed point) applies. *)
+
+val scale_executions : Rta_model.System.t -> float -> Rta_model.System.t
+(** Every execution time multiplied by the factor, rounded up, min 1
+    tick.  @raise Invalid_argument on a non-positive factor. *)
+
+val critical_scaling :
+  ?estimator:[ `Direct | `Sum ] ->
+  ?release_horizon:int ->
+  ?precision:float ->
+  ?upper_limit:float ->
+  horizon:int ->
+  Rta_model.System.t ->
+  float option
+(** Largest schedulable scaling factor, found by bisection to the given
+    [precision] (default 0.01) within [(0, upper_limit]] (default 4.0).
+    [None] if even a vanishing scale is unschedulable (some deadline is
+    impossible regardless of execution budget).  The returned factor is
+    always one whose scaled system the analysis {e admitted} (the
+    conservative end of the final bracket). *)
+
+val utilization_headroom : Rta_model.System.t -> float option
+(** [1 - max utilization]: the naive headroom estimate, for comparison
+    with the analysis-driven one.  [None] with trace arrivals. *)

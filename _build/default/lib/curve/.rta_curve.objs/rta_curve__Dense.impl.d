@@ -1,0 +1,1 @@
+lib/curve/dense.ml: Array Format Pl Step

@@ -1,0 +1,1 @@
+lib/curve/dense.mli: Format Pl Step

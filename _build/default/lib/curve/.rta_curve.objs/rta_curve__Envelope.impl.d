@@ -1,0 +1,1 @@
+lib/curve/envelope.ml: Array Format Hashtbl List Step

@@ -1,0 +1,1 @@
+lib/curve/envelope.mli: Format Step

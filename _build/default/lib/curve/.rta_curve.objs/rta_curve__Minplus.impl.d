@@ -1,0 +1,1 @@
+lib/curve/minplus.ml: Array List Pl Step

@@ -1,0 +1,1 @@
+lib/curve/minplus.mli: Pl Step

@@ -1,0 +1,1 @@
+lib/curve/pl.ml: Array Format List Step

@@ -1,0 +1,1 @@
+lib/curve/pl.mli: Format Step

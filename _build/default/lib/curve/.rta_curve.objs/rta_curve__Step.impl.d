@@ -1,0 +1,1 @@
+lib/curve/step.ml: Array Format List

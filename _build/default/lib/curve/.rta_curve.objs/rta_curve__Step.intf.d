@@ -1,0 +1,1 @@
+lib/curve/step.mli: Format

@@ -1,0 +1,171 @@
+(* Prefix-minimum scan over the merged event grid of an availability
+   function and a workload step function.  See minplus.mli for semantics. *)
+
+type mode = [ `Left | `Right ]
+
+(* Sorted, deduplicated event times: 0, every knot of [avail], and for every
+   jump time j of [work] both j and j+1 (so that both the value and the left
+   limit of [work] are constant on every open interval between events). *)
+let event_times avail work =
+  let knot_times = Array.to_list (Pl.knots avail) |> List.map fst in
+  let jump_times =
+    Array.to_list (Step.jumps work)
+    |> List.concat_map (fun (t, _) -> [ t; t + 1 ])
+  in
+  List.sort_uniq compare ((0 :: knot_times) @ jump_times)
+
+let work_value ~mode work s =
+  match mode with `Left -> Step.eval_left work s | `Right -> Step.eval work s
+
+let prefix_min ~mode ~avail ~work =
+  let events = event_times avail work in
+  let buf = ref [] in
+  let push t v =
+    match !buf with
+    | (t', _) :: rest when t' = t -> buf := (t, v) :: rest
+    | _ -> buf := (t, v) :: !buf
+  in
+  let hl s = work_value ~mode work s - Pl.eval avail s in
+  (* Slope of [avail] on the event interval starting at [e].  Events include
+     every knot of [avail], so [avail] is linear on [e, e+1) whenever the
+     interval extends past e+1; for singleton intervals the value is unused
+     beyond point e and any answer is harmless. *)
+  let slope_at e = Pl.eval avail (e + 1) - Pl.eval avail e in
+  let m_cur = ref (hl 0) in
+  push 0 !m_cur;
+  let tail = ref 0 in
+  let rec intervals = function
+    | [] -> ()
+    | [ e ] -> interval e None
+    | e :: (e' :: _ as rest) ->
+        interval e (Some e');
+        intervals rest
+  and interval e bound =
+    let hl_e = hl e in
+    if hl_e < !m_cur then begin
+      if e > 0 then push (e - 1) !m_cur;
+      push e hl_e;
+      m_cur := hl_e
+    end;
+    let sigma = -slope_at e in
+    if sigma < 0 then begin
+      if hl_e <= !m_cur then begin
+        (* m follows hl through the interval. *)
+        push e !m_cur;
+        match bound with
+        | Some e' ->
+            let v = hl_e + (sigma * (e' - 1 - e)) in
+            push (e' - 1) v;
+            m_cur := v
+        | None -> tail := sigma
+      end
+      else begin
+        (* hl starts above m and falls; it crosses strictly below m at the
+           first integer d with hl_e + sigma * d < m. *)
+        let d = ((hl_e - !m_cur) / -sigma) + 1 in
+        let k = e + d in
+        let inside = match bound with None -> true | Some e' -> k <= e' - 1 in
+        if inside then begin
+          push (k - 1) !m_cur;
+          push k (hl_e + (sigma * d));
+          match bound with
+          | Some e' ->
+              let v = hl_e + (sigma * (e' - 1 - e)) in
+              push (e' - 1) v;
+              m_cur := v
+          | None ->
+              m_cur := hl_e + (sigma * d);
+              tail := sigma
+        end
+      end
+    end
+  in
+  intervals events;
+  Pl.of_knots ~tail:!tail (List.rev !buf)
+
+let transform ~mode ~avail ~work =
+  Pl.add avail (prefix_min ~mode ~avail ~work)
+
+let transform_blocked ~mode ~avail ~work ~blocking =
+  if blocking < 0 then invalid_arg "Minplus.transform_blocked: negative blocking";
+  if blocking = 0 then transform ~mode ~avail ~work
+  else
+    let m = prefix_min ~mode ~avail ~work in
+    let shifted = Pl.shift_right m blocking in
+    Pl.splice ~at:blocking Pl.zero (Pl.add avail shifted)
+
+(* A value safely above any reachable curve value, used to mask the region
+   where a shifted convolution candidate is not yet defined.  Kept well
+   below max_int so sums of two masked values cannot overflow. *)
+let masked = 1 lsl 40
+
+let convolve f g =
+  (* (f * g)(t) = min over candidate curves:
+       for every knot (x, y) of f:  y + g(t - x)   (defined for t >= x)
+       for every knot (x, y) of g:  y + f(t - x)
+     The minimum over integer s within any segment pair is attained when s
+     or t-s is a knot (linearity), so these candidates are exhaustive. *)
+  let shifted_copies base knots =
+    Array.to_list knots
+    |> List.map (fun (x, y) ->
+           let curve = Pl.add (Pl.shift_right ~fill:masked base x) (Pl.const y) in
+           curve)
+  in
+  let candidates =
+    shifted_copies g (Pl.knots f) @ shifted_copies f (Pl.knots g)
+  in
+  match candidates with
+  | [] -> invalid_arg "Minplus.convolve: empty curve"
+  | first :: rest -> List.fold_left Pl.min2 first rest
+
+let vertical_deviation ~upper ~lower = Pl.sup (Pl.sub upper lower)
+
+let horizontal_deviation ~upper ~lower =
+  if not (Pl.is_nondecreasing lower) then
+    invalid_arg "Minplus.horizontal_deviation: lower must be non-decreasing";
+  if Pl.max_slope lower > 1 then
+    invalid_arg "Minplus.horizontal_deviation: lower must have unit rate";
+  if not (Pl.is_nondecreasing upper) then
+    invalid_arg "Minplus.horizontal_deviation: upper must be non-decreasing";
+  (* The supremum of t -> (inverse lower (upper t)) - t is attained either
+     at a knot of upper or at a point where (inverse lower) jumps, i.e.
+     where upper crosses a knot value of lower; checking both knot sets'
+     induced candidates covers all of them.  Beyond both knot ranges the
+     deviation is eventually monotone, governed by the tail rates. *)
+  let upper_rate = Pl.tail_slope upper and lower_rate = Pl.tail_slope lower in
+  if upper_rate > lower_rate then None
+  else begin
+    let candidate_ts =
+      let from_upper = Array.to_list (Pl.knots upper) |> List.map fst in
+      let from_lower =
+        (* t where upper(t) first reaches a lower-knot value. *)
+        Array.to_list (Pl.knots lower)
+        |> List.filter_map (fun (_, v) -> Pl.inverse_geq upper v)
+      in
+      let tail_start =
+        (* One representative beyond all knots: by then both curves run at
+           their tail rates and the deviation is non-increasing (since
+           upper_rate <= lower_rate), so earlier candidates dominate; still
+           include it for the equal-rates plateau. *)
+        let last f = Array.fold_left (fun acc (x, _) -> max acc x) 0 (Pl.knots f) in
+        [ max (last upper) (last lower) + 1 ]
+      in
+      let raw = (0 :: from_upper) @ from_lower @ tail_start in
+      (* The deviation is affine between consecutive candidates, so both
+         endpoints of every span matter: include each candidate's
+         predecessor tick. *)
+      List.sort_uniq compare
+        (List.concat_map (fun t -> [ max 0 (t - 1); t ]) raw)
+    in
+    let deviation_at t =
+      match Pl.inverse_geq lower (Pl.eval upper t) with
+      | Some catch -> Some (max 0 (catch - t))
+      | None -> None
+    in
+    List.fold_left
+      (fun acc t ->
+        match (acc, deviation_at t) with
+        | Some m, Some d -> Some (max m d)
+        | None, _ | _, None -> None)
+      (Some 0) candidate_ts
+  end

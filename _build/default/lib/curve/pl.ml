@@ -1,0 +1,370 @@
+(* Piecewise-linear integer grid functions.
+
+   Representation: knots (xs.(i), ys.(i)) with xs strictly increasing and
+   xs.(0) = 0; linear between consecutive knots; slope [tail] after the last
+   knot.  Invariant: every segment slope is an integer, so values at integer
+   times are integers.  The represented object is the restriction of the
+   polyline to integer times; operations that would create fractional kinks
+   insert two knots one tick apart instead (grid-exact).
+
+   Normal form: no interior knot joins two segments of equal slope and the
+   last knot is not redundant with the tail, so extensional equality on the
+   grid coincides with structural equality. *)
+
+type t = { xs : int array; ys : int array; tail : int }
+
+let segment_slope f i =
+  let n = Array.length f.xs in
+  if i = n - 1 then f.tail
+  else (f.ys.(i + 1) - f.ys.(i)) / (f.xs.(i + 1) - f.xs.(i))
+
+let invariant f =
+  let n = Array.length f.xs in
+  assert (n >= 1 && f.xs.(0) = 0 && Array.length f.ys = n);
+  for i = 0 to n - 2 do
+    let dx = f.xs.(i + 1) - f.xs.(i) and dy = f.ys.(i + 1) - f.ys.(i) in
+    assert (dx > 0);
+    assert (dy mod dx = 0)
+  done
+
+(* Rebuild in normal form from raw knots (strictly increasing times starting
+   at 0, integral slopes assumed). *)
+let normalize ~tail xs ys =
+  let n = Array.length xs in
+  let slope i =
+    if i = n - 1 then tail else (ys.(i + 1) - ys.(i)) / (xs.(i + 1) - xs.(i))
+  in
+  (* A knot is kept iff it is the first one or the slope changes there. *)
+  let keep = Array.make n true in
+  let prev_slope = ref (slope 0) in
+  for i = 1 to n - 1 do
+    let s = slope i in
+    if s = !prev_slope then keep.(i) <- false else prev_slope := s
+  done;
+  let count = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 keep in
+  let xs' = Array.make count 0 and ys' = Array.make count 0 in
+  let j = ref 0 in
+  for i = 0 to n - 1 do
+    if keep.(i) then begin
+      xs'.(!j) <- xs.(i);
+      ys'.(!j) <- ys.(i);
+      incr j
+    end
+  done;
+  let f = { xs = xs'; ys = ys'; tail } in
+  invariant f;
+  f
+
+let const v = { xs = [| 0 |]; ys = [| v |]; tail = 0 }
+let zero = const 0
+let linear ~slope ~offset = { xs = [| 0 |]; ys = [| offset |]; tail = slope }
+let identity = linear ~slope:1 ~offset:0
+
+let of_knots ~tail l =
+  match l with
+  | [] -> invalid_arg "Pl.of_knots: empty knot list"
+  | (x0, _) :: _ ->
+      if x0 <> 0 then invalid_arg "Pl.of_knots: first knot must be at time 0";
+      let n = List.length l in
+      let xs = Array.make n 0 and ys = Array.make n 0 in
+      List.iteri
+        (fun i (x, y) ->
+          xs.(i) <- x;
+          ys.(i) <- y)
+        l;
+      for i = 0 to n - 2 do
+        let dx = xs.(i + 1) - xs.(i) in
+        if dx <= 0 then invalid_arg "Pl.of_knots: times not strictly increasing";
+        if (ys.(i + 1) - ys.(i)) mod dx <> 0 then
+          invalid_arg "Pl.of_knots: non-integer segment slope"
+      done;
+      normalize ~tail xs ys
+
+let of_step step =
+  let js = Step.jumps step in
+  let v0 = Step.eval step 0 in
+  let buf = ref [ (0, v0) ] in
+  let push x y =
+    match !buf with
+    | (x', _) :: rest when x' = x -> buf := (x, y) :: rest
+    | _ -> buf := (x, y) :: !buf
+  in
+  let prev = ref v0 in
+  Array.iter
+    (fun (t, v) ->
+      if t > 0 then begin
+        push (t - 1) !prev;
+        push t v;
+        prev := v
+      end)
+    js;
+  of_knots ~tail:0 (List.rev !buf)
+
+(* Largest index i with xs.(i) <= t. *)
+let index_at f t =
+  let rec search lo hi =
+    if lo >= hi then lo
+    else
+      let mid = (lo + hi + 1) / 2 in
+      if f.xs.(mid) <= t then search mid hi else search lo (mid - 1)
+  in
+  search 0 (Array.length f.xs - 1)
+
+let eval f t =
+  if t < 0 then invalid_arg "Pl.eval: negative time";
+  let i = index_at f t in
+  f.ys.(i) + (segment_slope f i * (t - f.xs.(i)))
+
+let knots f = Array.init (Array.length f.xs) (fun i -> (f.xs.(i), f.ys.(i)))
+let tail_slope f = f.tail
+let knot_count f = Array.length f.xs
+
+let sup f =
+  if f.tail > 0 then None
+  else begin
+    (* The maximum sits at a knot (segments are linear and the tail is
+       non-increasing). *)
+    let m = ref f.ys.(0) in
+    Array.iter (fun y -> if y > !m then m := y) f.ys;
+    Some !m
+  end
+
+let fold_slopes op init f =
+  let acc = ref init in
+  for i = 0 to Array.length f.xs - 1 do
+    acc := op !acc (segment_slope f i)
+  done;
+  !acc
+
+let min_slope f = fold_slopes min max_int f
+let max_slope f = fold_slopes max min_int f
+let is_nondecreasing f = min_slope f >= 0
+
+let inverse_geq f v =
+  if not (is_nondecreasing f) then
+    invalid_arg "Pl.inverse_geq: function is not non-decreasing";
+  let n = Array.length f.xs in
+  if f.ys.(0) >= v then Some 0
+  else
+    (* Find the first knot whose value reaches v and solve in the segment
+       before it; otherwise solve in the tail. *)
+    let solve x y slope =
+      if slope <= 0 then None
+      else Some (x + ((v - y + slope - 1) / slope))
+    in
+    let rec scan i =
+      if i >= n then solve f.xs.(n - 1) f.ys.(n - 1) f.tail
+      else if f.ys.(i) >= v then
+        solve f.xs.(i - 1) f.ys.(i - 1) (segment_slope f (i - 1))
+      else scan (i + 1)
+    in
+    scan 1
+
+(* Merged, deduplicated knot times of two functions. *)
+let merge_knot_times f g =
+  let nf = Array.length f.xs and ng = Array.length g.xs in
+  let out = Array.make (nf + ng) 0 in
+  let rec go i j k =
+    if i >= nf && j >= ng then k
+    else
+      let t =
+        if i >= nf then g.xs.(j)
+        else if j >= ng then f.xs.(i)
+        else min f.xs.(i) g.xs.(j)
+      in
+      let i' = if i < nf && f.xs.(i) = t then i + 1 else i in
+      let j' = if j < ng && g.xs.(j) = t then j + 1 else j in
+      out.(k) <- t;
+      go i' j' (k + 1)
+  in
+  let k = go 0 0 0 in
+  Array.sub out 0 k
+
+let lift2 op f g =
+  let xs = merge_knot_times f g in
+  let ys = Array.map (fun t -> op (eval f t) (eval g t)) xs in
+  normalize ~tail:(op f.tail g.tail) xs ys
+
+let add = lift2 ( + )
+let sub = lift2 ( - )
+let neg f = { f with ys = Array.map (fun y -> -y) f.ys; tail = -f.tail }
+let sum l = List.fold_left add zero l
+let scale f k = { f with ys = Array.map (fun y -> k * y) f.ys; tail = k * f.tail }
+
+(* Grid-exact pointwise transform machinery: apply [op] to the values of [f]
+   (and [g]) at a set of times that includes, for every segment on which the
+   transform is non-linear, the pair of integer times straddling each
+   real-valued kink.  For max/min against another polyline the kinks are
+   sign changes of the difference; we conservatively insert straddle knots
+   around every integer-floor of a crossing. *)
+
+let crossing_floors d0 ds =
+  (* Zero crossing of the line d0 + ds * u (u >= 0, integer-valued d0, ds):
+     returns the floor of the crossing if one exists at u > 0. *)
+  if ds = 0 || d0 = 0 || d0 * ds > 0 then None
+  else
+    let num = -d0 in
+    Some (num / ds) (* both num and ds share sign; integer division floors
+                       toward zero which equals floor here since signs agree *)
+
+let pointwise2 op f g =
+  let base = merge_knot_times f g in
+  let times = ref [] in
+  let add_time t = if t >= 0 then times := t :: !times in
+  Array.iter add_time base;
+  let n = Array.length base in
+  let consider i =
+    let x = base.(i) in
+    let x_end = if i = n - 1 then None else Some base.(i + 1) in
+    let yf = eval f x and yg = eval g x in
+    let sf = segment_slope f (index_at f x) and sg = segment_slope g (index_at g x) in
+    match crossing_floors (yf - yg) (sf - sg) with
+    | None -> ()
+    | Some du ->
+        let t1 = x + du and t2 = x + du + 1 in
+        let inside t = t > x && (match x_end with None -> true | Some e -> t < e) in
+        if inside t1 then add_time t1;
+        if inside t2 then add_time t2
+  in
+  for i = 0 to n - 1 do
+    consider i
+  done;
+  let xs = List.sort_uniq compare !times |> Array.of_list in
+  let ys = Array.map (fun t -> op (eval f t) (eval g t)) xs in
+  normalize ~tail:(op f.tail g.tail) xs ys
+
+let min2 f g = pointwise2 min f g
+let max2 f g = pointwise2 max f g
+let pos f = max2 f zero
+
+let prefix_max f =
+  (* Running maximum.  At a segment start the current maximum always
+     dominates (continuity), so work only happens on rising segments that
+     cross it: emit the straddle pair and follow f to the segment end. *)
+  let n = Array.length f.xs in
+  let buf = ref [] in
+  let push t v =
+    match !buf with
+    | (t', _) :: rest when t' = t -> buf := (t, v) :: rest
+    | _ -> buf := (t, v) :: !buf
+  in
+  let cur = ref f.ys.(0) in
+  push 0 !cur;
+  let tail = ref 0 in
+  let segment i =
+    let x0 = f.xs.(i) and y0 = f.ys.(i) in
+    let s = segment_slope f i in
+    let bound = if i = n - 1 then None else Some f.xs.(i + 1) in
+    if s > 0 then begin
+      let t_cross = x0 + ((!cur - y0) / s) + 1 in
+      let f_at t = y0 + (s * (t - x0)) in
+      let inside = match bound with None -> true | Some e -> t_cross <= e in
+      if inside && f_at t_cross > !cur then begin
+        push (t_cross - 1) !cur;
+        push t_cross (f_at t_cross);
+        match bound with
+        | Some e ->
+            push e (f_at e);
+            cur := f_at e
+        | None -> tail := s
+      end
+      else begin
+        (* Entirely below the running max; or touches it exactly at the end:
+           the max is unchanged (values equal). *)
+        match bound with
+        | Some e -> cur := max !cur (f_at e)
+        | None -> ()
+      end
+    end
+  in
+  for i = 0 to n - 1 do
+    segment i
+  done;
+  of_knots ~tail:!tail (List.rev !buf)
+
+let splice ~at before after =
+  if at < 0 then invalid_arg "Pl.splice: negative splice point";
+  let before_knots =
+    Array.to_list (knots before) |> List.filter (fun (x, _) -> x < at)
+  in
+  let after_knots =
+    Array.to_list (knots after) |> List.filter (fun (x, _) -> x > at + 1)
+  in
+  let mid = [ (at, eval before at); (at + 1, eval after (at + 1)) ] in
+  let head =
+    match before_knots with
+    | [] when at = 0 -> []
+    | [] -> [ (0, eval before 0) ]
+    | l -> l
+  in
+  of_knots ~tail:after.tail (head @ mid @ after_knots)
+
+let shift_right ?fill f d =
+  if d < 0 then invalid_arg "Pl.shift_right: negative shift";
+  if d = 0 then f
+  else
+    let y0 = f.ys.(0) in
+    let fill = match fill with None -> y0 | Some v -> v in
+    let shifted =
+      Array.to_list (Array.init (Array.length f.xs) (fun i -> (f.xs.(i) + d, f.ys.(i))))
+    in
+    let prefix =
+      if fill = y0 || d = 1 then [ (0, fill) ] else [ (0, fill); (d - 1, fill) ]
+    in
+    of_knots ~tail:f.tail (prefix @ shifted)
+
+let truncate_at f h =
+  if h < 0 then invalid_arg "Pl.truncate_at: negative horizon";
+  let kept = Array.to_list (knots f) |> List.filter (fun (x, _) -> x < h) in
+  let kept = match kept with [] -> [ (0, eval f 0) ] | l -> l in
+  let kept = if h > 0 then kept @ [ (h, eval f h) ] else kept in
+  of_knots ~tail:0 kept
+
+let to_step_floor_div s tau =
+  if tau < 1 then invalid_arg "Pl.to_step_floor_div: divisor must be >= 1";
+  if not (is_nondecreasing s) then
+    invalid_arg "Pl.to_step_floor_div: function is not non-decreasing";
+  if s.tail > 0 then
+    invalid_arg "Pl.to_step_floor_div: positive tail slope; truncate_at first";
+  let n = Array.length s.xs in
+  let samples = ref [] in
+  let push t v = samples := (t, v) :: !samples in
+  push 0 (s.ys.(0) / tau);
+  (* Within each rising segment, emit the first integer time at which each
+     successive multiple of tau is reached. *)
+  let emit_segment i =
+    let x = s.xs.(i) and y = s.ys.(i) in
+    let slope = segment_slope s i in
+    let x_end = if i = n - 1 then max_int else s.xs.(i + 1) in
+    push x (y / tau);
+    if slope > 0 then begin
+      let rec next_multiple v =
+        let target = v * tau in
+        let t = x + ((target - y + slope - 1) / slope) in
+        if t < x_end && t > x then begin
+          let reached = (y + (slope * (t - x))) / tau in
+          push t reached;
+          next_multiple (reached + 1)
+        end
+      in
+      next_multiple ((y / tau) + 1)
+    end
+  in
+  for i = 0 to n - 1 do
+    emit_segment i
+  done;
+  Step.of_samples ~init:(s.ys.(0) / tau) (List.rev !samples)
+
+let equal f g = f.tail = g.tail && f.xs = g.xs && f.ys = g.ys
+
+let dominates f g =
+  let xs = merge_knot_times f g in
+  Array.for_all (fun t -> eval f t >= eval g t) xs && f.tail >= g.tail
+
+let pp ppf f =
+  Format.fprintf ppf "@[<hov 2>pl{";
+  Array.iteri
+    (fun i x ->
+      Format.fprintf ppf "%s(%d,%d)" (if i = 0 then "" else "; ") x f.ys.(i))
+    f.xs;
+  Format.fprintf ppf "; tail=%d}@]" f.tail

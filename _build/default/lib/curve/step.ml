@@ -1,0 +1,220 @@
+(* Right-continuous non-decreasing integer step functions.
+
+   Representation: [init] is the value on [0, ts.(0)); [vs.(i)] is the value
+   on [ts.(i), ts.(i+1)).  Normal form: [ts] strictly increasing and
+   non-negative, [vs] strictly increasing, [vs.(0) > init].  Under this
+   normal form, extensional equality coincides with structural equality. *)
+
+type t = { init : int; ts : int array; vs : int array }
+
+let invariant f =
+  let n = Array.length f.ts in
+  assert (Array.length f.vs = n);
+  let check_knot i =
+    assert (f.ts.(i) >= 0);
+    if i = 0 then assert (f.vs.(0) > f.init)
+    else begin
+      assert (f.ts.(i) > f.ts.(i - 1));
+      assert (f.vs.(i) > f.vs.(i - 1))
+    end
+  in
+  for i = 0 to n - 1 do
+    check_knot i
+  done
+
+let zero = { init = 0; ts = [||]; vs = [||] }
+
+let const v =
+  if v < 0 then invalid_arg "Step.const: negative value";
+  { init = v; ts = [||]; vs = [||] }
+
+(* Build from possibly redundant (time, value) pairs: collapse equal times
+   (keeping the last value) and drop non-increasing values. *)
+let normalize ~init pairs =
+  let keep = ref [] in
+  let last_v = ref init in
+  let push (t, v) =
+    if v > !last_v then begin
+      (match !keep with
+      | (t', _) :: rest when t' = t -> keep := (t, v) :: rest
+      | _ -> keep := (t, v) :: !keep);
+      last_v := v
+    end
+  in
+  List.iter push pairs;
+  let l = List.rev !keep in
+  let n = List.length l in
+  let ts = Array.make n 0 and vs = Array.make n 0 in
+  List.iteri
+    (fun i (t, v) ->
+      ts.(i) <- t;
+      vs.(i) <- v)
+    l;
+  let f = { init; ts; vs } in
+  invariant f;
+  f
+
+let of_jumps ?(init = 0) l =
+  if init < 0 then invalid_arg "Step.of_jumps: negative init";
+  let check_sorted (last_t, last_v) (t, v) =
+    if t < 0 then invalid_arg "Step.of_jumps: negative time";
+    if t <= last_t && last_t >= 0 then
+      invalid_arg "Step.of_jumps: times not strictly increasing";
+    if v <= last_v then invalid_arg "Step.of_jumps: values not increasing";
+    (t, v)
+  in
+  ignore (List.fold_left check_sorted (-1, init) l);
+  normalize ~init l
+
+let of_arrival_times times =
+  let n = Array.length times in
+  let check i =
+    if times.(i) < 0 then invalid_arg "Step.of_arrival_times: negative time";
+    if i > 0 && times.(i) < times.(i - 1) then
+      invalid_arg "Step.of_arrival_times: times not sorted"
+  in
+  for i = 0 to n - 1 do
+    check i
+  done;
+  (* Count of instances released by each distinct time. *)
+  let pairs = ref [] in
+  for i = n - 1 downto 0 do
+    match !pairs with
+    | (t, _) :: _ when t = times.(i) -> ()
+    | _ -> pairs := (times.(i), i + 1) :: !pairs
+  done;
+  normalize ~init:0 !pairs
+
+let step_at t = normalize ~init:0 [ (max 0 t, 1) ]
+
+let of_samples ?(init = 0) l =
+  let check_time last (t, _) =
+    if t < 0 then invalid_arg "Step.of_samples: negative time";
+    if t < last then invalid_arg "Step.of_samples: times not sorted";
+    t
+  in
+  ignore (List.fold_left check_time 0 l);
+  normalize ~init l
+
+(* Largest index i with ts.(i) <= t, or -1. *)
+let index_at f t =
+  let rec search lo hi =
+    (* Invariant: ts.(lo) <= t (if lo >= 0) and ts.(hi+1) > t. *)
+    if lo >= hi then lo
+    else
+      let mid = (lo + hi + 1) / 2 in
+      if f.ts.(mid) <= t then search mid hi else search lo (mid - 1)
+  in
+  let n = Array.length f.ts in
+  if n = 0 || f.ts.(0) > t then -1 else search 0 (n - 1)
+
+let eval f t =
+  if t < 0 then invalid_arg "Step.eval: negative time";
+  let i = index_at f t in
+  if i < 0 then f.init else f.vs.(i)
+
+let eval_left f t =
+  if t < 0 then invalid_arg "Step.eval_left: negative time";
+  if t = 0 then f.init else eval f (t - 1)
+
+let init_value f = f.init
+
+let final_value f =
+  let n = Array.length f.vs in
+  if n = 0 then f.init else f.vs.(n - 1)
+
+let jump_count f = Array.length f.ts
+let jumps f = Array.init (Array.length f.ts) (fun i -> (f.ts.(i), f.vs.(i)))
+let support_end f =
+  let n = Array.length f.ts in
+  if n = 0 then 0 else f.ts.(n - 1)
+
+let inverse f v =
+  if v <= f.init then Some 0
+  else
+    (* Smallest i with vs.(i) >= v. *)
+    let n = Array.length f.vs in
+    let rec search lo hi =
+      if lo >= hi then lo
+      else
+        let mid = (lo + hi) / 2 in
+        if f.vs.(mid) >= v then search lo mid else search (mid + 1) hi
+    in
+    if n = 0 || f.vs.(n - 1) < v then None
+    else Some f.ts.(search 0 (n - 1))
+
+let scale f k =
+  if k < 1 then invalid_arg "Step.scale: factor must be >= 1";
+  { f with init = f.init * k; vs = Array.map (fun v -> v * k) f.vs }
+
+let floor_div f k =
+  if k < 1 then invalid_arg "Step.floor_div: divisor must be >= 1";
+  let pairs =
+    Array.to_list (Array.init (Array.length f.ts) (fun i -> (f.ts.(i), f.vs.(i) / k)))
+  in
+  normalize ~init:(f.init / k) pairs
+
+(* Merge the jump points of [f] and [g], combining values with [op]. *)
+let combine op f g =
+  let nf = Array.length f.ts and ng = Array.length g.ts in
+  let acc = ref [] in
+  let push t v = acc := (t, v) :: !acc in
+  let rec go i j =
+    if i >= nf && j >= ng then ()
+    else begin
+      let t =
+        if i >= nf then g.ts.(j)
+        else if j >= ng then f.ts.(i)
+        else min f.ts.(i) g.ts.(j)
+      in
+      let i' = if i < nf && f.ts.(i) = t then i + 1 else i in
+      let j' = if j < ng && g.ts.(j) = t then j + 1 else j in
+      let vf = if i' = 0 then f.init else f.vs.(i' - 1) in
+      let vg = if j' = 0 then g.init else g.vs.(j' - 1) in
+      push t (op vf vg);
+      go i' j'
+    end
+  in
+  go 0 0;
+  normalize ~init:(op f.init g.init) (List.rev !acc)
+
+let add = combine ( + )
+let min2 = combine min
+let max2 = combine max
+let sum l = List.fold_left add zero l
+
+let shift_right f d =
+  if d < 0 then invalid_arg "Step.shift_right: negative shift";
+  if d = 0 then f else { f with ts = Array.map (fun t -> t + d) f.ts }
+
+let shift_left f d =
+  if d < 0 then invalid_arg "Step.shift_left: negative shift";
+  if d = 0 then f
+  else
+    let pairs =
+      Array.to_list
+        (Array.init (Array.length f.ts) (fun i -> (max 0 (f.ts.(i) - d), f.vs.(i))))
+    in
+    normalize ~init:f.init pairs
+
+let truncate_after f h =
+  let n = Array.length f.ts in
+  let rec count i = if i < n && f.ts.(i) <= h then count (i + 1) else i in
+  let keep = count 0 in
+  if keep = n then f
+  else { f with ts = Array.sub f.ts 0 keep; vs = Array.sub f.vs 0 keep }
+
+let equal f g = f.init = g.init && f.ts = g.ts && f.vs = g.vs
+
+let dominates f g =
+  (* f >= g pointwise iff it holds at every jump point of either and at 0. *)
+  let ok = ref (f.init >= g.init) in
+  let check t = if eval f t < eval g t then ok := false in
+  Array.iter check f.ts;
+  Array.iter check g.ts;
+  !ok
+
+let pp ppf f =
+  Format.fprintf ppf "@[<hov 2>step{init=%d" f.init;
+  Array.iteri (fun i t -> Format.fprintf ppf ";@ %d@%d" f.vs.(i) t) f.ts;
+  Format.fprintf ppf "}@]"

@@ -1,0 +1,124 @@
+(** Right-continuous, non-decreasing integer step functions on [0, +inf).
+
+    A value of type {!t} represents a function [f : int -> int] with
+    [f(t) = f(t')] for [t <= t'] implied pointwise ([f] non-decreasing),
+    changing value only by upward jumps at integer times.  These model the
+    paper's {e arrival}, {e departure} and {e workload} functions
+    (Definitions 1-3): counting processes and their scalings.
+
+    All times and values are integer {e ticks} (see [Rta_model.Time]); the
+    whole analysis is exact integer arithmetic.  Functions in this module
+    never observe or produce negative times. *)
+
+type t
+(** A step function.  Structurally normalized: two step functions are equal
+    as functions iff they are [equal]. *)
+
+(** {1 Construction} *)
+
+val zero : t
+(** The constant-0 function. *)
+
+val const : int -> t
+(** [const v] is the constant function [fun _ -> v].  [v] must be [>= 0]. *)
+
+val of_jumps : ?init:int -> (int * int) list -> t
+(** [of_jumps ~init l] builds the function with value [init] (default 0)
+    before the first jump, where [l] lists [(time, value_from_time_on)]
+    pairs.  Times must be [>= 0] and strictly increasing, values strictly
+    increasing and [> init].
+    @raise Invalid_argument if the invariants are violated. *)
+
+val of_arrival_times : int array -> t
+(** [of_arrival_times ts] is the counting function of the release times
+    [ts]: [f(t)] = number of entries of [ts] that are [<= t].  [ts] must be
+    sorted non-decreasing with non-negative entries; duplicates are allowed
+    (simultaneous releases). *)
+
+val step_at : int -> t
+(** [step_at t] is the unit step: 0 before [t], 1 from [t] on. *)
+
+val of_samples : ?init:int -> (int * int) list -> t
+(** [of_samples ~init l] builds a step function from possibly redundant
+    [(time, value)] samples in non-decreasing time order: later samples at
+    the same time win, samples that do not increase the value are dropped.
+    The resulting function has value [init] before the first retained
+    sample.  Unlike {!of_jumps}, no strictness is required — this is the
+    lenient constructor used when deriving step functions from scans. *)
+
+(** {1 Observation} *)
+
+val eval : t -> int -> int
+(** [eval f t] is [f(t)].  [t] must be [>= 0]. *)
+
+val eval_left : t -> int -> int
+(** [eval_left f t] is the left limit [f(t-)]: the value just before [t].
+    [eval_left f 0] is the initial value. *)
+
+val init_value : t -> int
+(** Value on [0, first_jump), i.e. [f(0)] if there is no jump at 0. *)
+
+val final_value : t -> int
+(** The value after the last jump ([lim f] at +inf). *)
+
+val jump_count : t -> int
+(** Number of jump points. *)
+
+val jumps : t -> (int * int) array
+(** [(time, value_from_time_on)] pairs of all jumps, in increasing time
+    order.  The returned array is fresh. *)
+
+val inverse : t -> int -> int option
+(** Pseudo-inverse, Definition 5 of the paper:
+    [inverse f v = min { s >= 0 | f(s) >= v }], or [None] if [f] never
+    reaches [v].  For a counting function, [inverse f m] is the release time
+    of the [m]-th instance ([m >= 1]). *)
+
+val support_end : t -> int
+(** Time of the last jump (0 if there are no jumps). *)
+
+(** {1 Transformation} *)
+
+val scale : t -> int -> t
+(** [scale f k] is [fun t -> k * f(t)], for [k >= 1].  Turns a counting
+    function into a workload function (Definition 3, [c = f_arr * tau]). *)
+
+val floor_div : t -> int -> t
+(** [floor_div f k] is [fun t -> f(t) / k] (integer division), for
+    [k >= 1]. *)
+
+val add : t -> t -> t
+(** Pointwise sum. *)
+
+val sum : t list -> t
+(** Pointwise sum of a list ([zero] for the empty list). *)
+
+val shift_right : t -> int -> t
+(** [shift_right f d] is [fun t -> f(t - d)] (value [init_value f] on
+    [0, d)), for [d >= 0]: delays every jump by [d]. *)
+
+val shift_left : t -> int -> t
+(** [shift_left f d] is [fun t -> f(t + d)], for [d >= 0]: advances jumps,
+    clamping jump times at 0. *)
+
+val min2 : t -> t -> t
+(** Pointwise minimum. *)
+
+val max2 : t -> t -> t
+(** Pointwise maximum. *)
+
+val truncate_after : t -> int -> t
+(** [truncate_after f h] keeps jumps at times [<= h] and discards the
+    rest (the function stays constant after its last kept jump). *)
+
+(** {1 Comparison} *)
+
+val equal : t -> t -> bool
+(** Extensional equality (the representation is normal form). *)
+
+val dominates : t -> t -> bool
+(** [dominates f g] iff [f(t) >= g(t)] for all [t]: [f] is an upper bound
+    function of [g] in the sense of Definition 6. *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints the jump list, for debugging and test failure messages. *)

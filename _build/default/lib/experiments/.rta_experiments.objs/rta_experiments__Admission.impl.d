@@ -1,0 +1,1 @@
+lib/experiments/admission.ml: Domain List Option Printf Rta_baselines Rta_core Rta_model Rta_workload Sched Tabular

@@ -1,0 +1,1 @@
+lib/experiments/admission.mli: Rta_model Rta_workload

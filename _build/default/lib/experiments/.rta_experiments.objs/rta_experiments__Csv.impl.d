@@ -1,0 +1,1 @@
+lib/experiments/csv.ml: Admission List Printf String

@@ -1,0 +1,1 @@
+lib/experiments/figures.ml: Admission Array Arrival Ascii_plot Buffer Csv Float Format Fun List Printf Rta_core Rta_curve Rta_model Rta_sim Rta_workload Sched String Sys System Tabular Time

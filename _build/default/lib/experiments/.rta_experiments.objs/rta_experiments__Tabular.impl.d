@@ -1,0 +1,1 @@
+lib/experiments/tabular.ml: Array List Printf String

@@ -1,0 +1,47 @@
+let chart ?(width = 61) ?(height = 16) ~series ~x_axis ~y_axis () =
+  let xs =
+    List.concat_map (fun (_, _, pts) -> List.map fst pts) series
+  in
+  match xs with
+  | [] -> "(no data)\n"
+  | _ ->
+      let x_min = List.fold_left Float.min infinity xs in
+      let x_max = List.fold_left Float.max neg_infinity xs in
+      let x_span = if x_max > x_min then x_max -. x_min else 1.0 in
+      let grid = Array.make_matrix height width ' ' in
+      let col x =
+        int_of_float (Float.round ((x -. x_min) /. x_span *. float_of_int (width - 1)))
+      in
+      let row y =
+        let y = Float.max 0. (Float.min 1. y) in
+        height - 1 - int_of_float (Float.round (y *. float_of_int (height - 1)))
+      in
+      (* Later series must not overwrite earlier ones (paper-style overlap
+         display), so draw in reverse order. *)
+      List.rev series
+      |> List.iter (fun (marker, _, pts) ->
+             List.iter (fun (x, y) -> grid.(row y).(col x) <- marker) pts);
+      let buf = Buffer.create ((height + 4) * (width + 8)) in
+      Buffer.add_string buf (Printf.sprintf "%s\n" y_axis);
+      Array.iteri
+        (fun r line ->
+          let label =
+            if r = 0 then "1.0 |"
+            else if r = height - 1 then "0.0 |"
+            else if r = (height - 1) / 2 then "0.5 |"
+            else "    |"
+          in
+          Buffer.add_string buf label;
+          Buffer.add_string buf (String.init width (fun c -> line.(c)));
+          Buffer.add_char buf '\n')
+        grid;
+      Buffer.add_string buf ("    +" ^ String.make width '-' ^ "\n");
+      Buffer.add_string buf
+        (Printf.sprintf "     %-*.2f%*.2f  (%s)\n" (width - 8) x_min 8 x_max x_axis);
+      Buffer.add_string buf "     ";
+      List.iter
+        (fun (marker, label, _) ->
+          Buffer.add_string buf (Printf.sprintf "%c=%s  " marker label))
+        series;
+      Buffer.add_char buf '\n';
+      Buffer.contents buf

@@ -1,0 +1,20 @@
+(** ASCII line charts for the figure reproductions.
+
+    The paper's Figures 3-4 are probability-vs-utilization plots; the
+    tables carry the exact numbers and these charts carry the shape.  Each
+    series gets a marker character; overlapping points show the marker of
+    the earliest series (matching the paper's overlap of SPP/Exact and
+    SPP/S&L on single-stage panels). *)
+
+val chart :
+  ?width:int ->
+  ?height:int ->
+  series:(char * string * (float * float) list) list ->
+  x_axis:string ->
+  y_axis:string ->
+  unit ->
+  string
+(** [chart ~series ~x_axis ~y_axis ()] renders the [(x, y)] series into a
+    [width] x [height] (default 61 x 16) grid.  The x-range spans the data;
+    the y-range is fixed to [0, 1] (probabilities).  Includes a legend of
+    [(marker, label)]. *)

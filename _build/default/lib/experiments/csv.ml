@@ -1,0 +1,28 @@
+let needs_quoting s =
+  String.exists (fun c -> c = ',' || c = '"' || c = '\n' || c = '\r') s
+
+let escape s =
+  if needs_quoting s then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+  else s
+
+let record fields = String.concat "," (List.map escape fields) ^ "\n"
+
+let of_rows ~header rows =
+  String.concat "" (record header :: List.map record rows)
+
+let of_sweep points =
+  let rows =
+    List.concat_map
+      (fun p ->
+        List.map
+          (fun (m, prob) ->
+            [
+              Printf.sprintf "%.3f" p.Admission.utilization;
+              Admission.method_name m;
+              Printf.sprintf "%.4f" prob;
+            ])
+          p.Admission.admitted)
+      points
+  in
+  of_rows ~header:[ "utilization"; "method"; "admission_probability" ] rows

@@ -1,0 +1,14 @@
+(** CSV export of experiment data, for external plotting.
+
+    Minimal RFC-4180-style writer: fields containing commas, quotes or
+    newlines are quoted, quotes doubled. *)
+
+val escape : string -> string
+(** Quote a field if needed. *)
+
+val of_rows : header:string list -> string list list -> string
+(** Render rows under a header, one record per line, [\n]-terminated. *)
+
+val of_sweep : Admission.point list -> string
+(** Admission sweeps as [utilization, method, probability] long-format
+    records (one per method per point) — the layout plotting tools want. *)

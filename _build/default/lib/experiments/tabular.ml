@@ -1,0 +1,16 @@
+let render ~header rows =
+  let all = header :: rows in
+  let cols = List.fold_left (fun acc r -> max acc (List.length r)) 0 all in
+  let width = Array.make cols 0 in
+  List.iter
+    (List.iteri (fun i cell -> width.(i) <- max width.(i) (String.length cell)))
+    all;
+  let pad i cell = cell ^ String.make (width.(i) - String.length cell) ' ' in
+  let line r = String.concat "  " (List.mapi pad r) in
+  let rule =
+    String.concat "--"
+      (Array.to_list (Array.map (fun w -> String.make w '-') width))
+  in
+  String.concat "\n" (line header :: rule :: List.map line rows)
+
+let render_float f = Printf.sprintf "%.3f" f

@@ -1,0 +1,7 @@
+(** Minimal aligned text-table rendering for experiment output. *)
+
+val render : header:string list -> string list list -> string
+(** Monospace table with a header rule; columns padded to content width. *)
+
+val render_float : float -> string
+(** Fixed three-decimal formatting used for probabilities and ratios. *)

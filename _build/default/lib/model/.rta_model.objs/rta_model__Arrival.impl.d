@@ -1,0 +1,1 @@
+lib/model/arrival.ml: Array Format List Rta_curve Time

@@ -1,0 +1,1 @@
+lib/model/arrival.mli: Format Rta_curve

@@ -1,0 +1,1 @@
+lib/model/builder.ml: Array Arrival List Priority Sched System Time

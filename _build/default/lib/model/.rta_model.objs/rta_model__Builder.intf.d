@@ -1,0 +1,1 @@
+lib/model/builder.mli: Arrival Sched System

@@ -1,0 +1,1 @@
+lib/model/parser.ml: Array Arrival Buffer Float Format In_channel List Option Printf Result Sched String System Time

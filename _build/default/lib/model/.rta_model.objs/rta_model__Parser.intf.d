@@ -1,0 +1,1 @@
+lib/model/parser.mli: System

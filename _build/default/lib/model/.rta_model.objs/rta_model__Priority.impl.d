@@ -1,0 +1,1 @@
+lib/model/priority.ml: Array Arrival Float Hashtbl List System

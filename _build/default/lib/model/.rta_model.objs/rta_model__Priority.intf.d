@@ -1,0 +1,1 @@
+lib/model/priority.mli: System

@@ -1,0 +1,1 @@
+lib/model/sched.ml: Format Printf String

@@ -1,0 +1,1 @@
+lib/model/sched.mli: Format

@@ -1,0 +1,1 @@
+lib/model/system.ml: Array Arrival Float Format Hashtbl List Sched Time

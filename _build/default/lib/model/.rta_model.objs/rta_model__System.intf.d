@@ -1,0 +1,1 @@
+lib/model/system.mli: Arrival Format Sched

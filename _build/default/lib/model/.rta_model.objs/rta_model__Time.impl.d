@@ -1,0 +1,1 @@
+lib/model/time.ml: Float Format

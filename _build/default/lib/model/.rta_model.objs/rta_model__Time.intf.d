@@ -1,0 +1,1 @@
+lib/model/time.mli: Format

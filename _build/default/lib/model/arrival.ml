@@ -1,0 +1,97 @@
+type pattern =
+  | Periodic of { period : int; offset : int }
+  | Bursty of { period : int }
+  | Burst_periodic of { burst : int; period : int; offset : int }
+  | Sporadic_worst of { min_gap : int; count : int }
+  | Trace of int array
+
+let validate = function
+  | Periodic { period; offset } ->
+      if period < 1 then Error "Periodic: period must be >= 1"
+      else if offset < 0 then Error "Periodic: negative offset"
+      else Ok ()
+  | Bursty { period } ->
+      if period < 1 then Error "Bursty: period must be >= 1" else Ok ()
+  | Burst_periodic { burst; period; offset } ->
+      if burst < 1 then Error "Burst_periodic: burst must be >= 1"
+      else if period < 1 then Error "Burst_periodic: period must be >= 1"
+      else if offset < 0 then Error "Burst_periodic: negative offset"
+      else Ok ()
+  | Sporadic_worst { min_gap; count } ->
+      if min_gap < 1 then Error "Sporadic_worst: min_gap must be >= 1"
+      else if count < 0 then Error "Sporadic_worst: negative count"
+      else Ok ()
+  | Trace times ->
+      let n = Array.length times in
+      let rec check i =
+        if i >= n then Ok ()
+        else if times.(i) < 0 then Error "Trace: negative release time"
+        else if i > 0 && times.(i) < times.(i - 1) then
+          Error "Trace: times not sorted"
+        else check (i + 1)
+      in
+      check 0
+
+(* Expand a pattern given the m-th release time as a function; stop at the
+   horizon. *)
+let expand release_of_m ~horizon =
+  let rec collect m acc =
+    let t = release_of_m m in
+    if t > horizon then List.rev acc else collect (m + 1) (t :: acc)
+  in
+  Array.of_list (collect 1 [])
+
+let bursty_release ~period m =
+  let u = Time.ticks_per_unit in
+  let d = (m - 1) * period in
+  Time.isqrt ((u * u) + (d * d)) - u
+
+let release_times pattern ~horizon =
+  (match validate pattern with Ok () -> () | Error e -> invalid_arg e);
+  match pattern with
+  | Periodic { period; offset } ->
+      expand (fun m -> offset + ((m - 1) * period)) ~horizon
+  | Bursty { period } -> expand (bursty_release ~period) ~horizon
+  | Burst_periodic { burst; period; offset } ->
+      expand
+        (fun m ->
+          if m <= burst then offset else offset + (((m - burst) * period)))
+        ~horizon
+  | Sporadic_worst { min_gap; count } ->
+      expand
+        (fun m -> if m > count then horizon + 1 else (m - 1) * min_gap)
+        ~horizon
+  | Trace times ->
+      let n = Array.length times in
+      let rec keep i = if i < n && times.(i) <= horizon then keep (i + 1) else i in
+      Array.sub times 0 (keep 0)
+
+let arrival_function pattern ~horizon =
+  Rta_curve.Step.of_arrival_times (release_times pattern ~horizon)
+
+let envelope pattern ~release_horizon =
+  let module E = Rta_curve.Envelope in
+  match pattern with
+  | Periodic { period; _ } -> E.periodic ~period ()
+  | Burst_periodic { burst; period; _ } -> E.periodic ~burst ~period ()
+  | Bursty _ | Sporadic_worst _ | Trace _ ->
+      E.of_trace (release_times pattern ~horizon:release_horizon)
+
+let rate_per_tick_denominator = function
+  | Periodic { period; _ } | Bursty { period } | Burst_periodic { period; _ } ->
+      Some period
+  | Sporadic_worst { min_gap; _ } -> Some min_gap
+  | Trace _ -> None
+
+let pp ppf = function
+  | Periodic { period; offset } ->
+      Format.fprintf ppf "periodic(period=%a, offset=%a)" Time.pp period Time.pp
+        offset
+  | Bursty { period } -> Format.fprintf ppf "bursty(period=%a)" Time.pp period
+  | Burst_periodic { burst; period; offset } ->
+      Format.fprintf ppf "burst_periodic(burst=%d, period=%a, offset=%a)" burst
+        Time.pp period Time.pp offset
+  | Sporadic_worst { min_gap; count } ->
+      Format.fprintf ppf "sporadic_worst(min_gap=%a, count=%d)" Time.pp min_gap
+        count
+  | Trace times -> Format.fprintf ppf "trace(%d releases)" (Array.length times)

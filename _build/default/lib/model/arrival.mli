@@ -1,0 +1,49 @@
+(** Release-time patterns for the first subjob of a job.
+
+    The paper's central generalization is that release times are an
+    arbitrary non-decreasing sequence (Section 3.1).  A {!pattern} is a
+    finite description that expands deterministically into the release
+    times falling inside an analysis horizon; [Trace] covers fully general
+    workloads (e.g. recorded arrivals). *)
+
+type pattern =
+  | Periodic of { period : int; offset : int }
+      (** Eq. 25: releases at [offset + (m-1) * period].  [period >= 1],
+          [offset >= 0]. *)
+  | Bursty of { period : int }
+      (** The paper's aperiodic pattern, Eq. 27 quantized to ticks:
+          [t_m = isqrt (u^2 + ((m-1) * period)^2) - u] with
+          [u = Time.ticks_per_unit].  A burst at time 0 that relaxes into
+          period-[period] behaviour.  [period >= 1]. *)
+  | Burst_periodic of { burst : int; period : int; offset : int }
+      (** [burst] simultaneous releases at [offset], then periodic every
+          [period].  Models bursty sporadic sources in the sense of
+          Tindell et al.  [burst >= 1]. *)
+  | Sporadic_worst of { min_gap : int; count : int }
+      (** The worst-case expansion of a sporadic source with minimum
+          inter-arrival [min_gap]: [count] releases as early as legal,
+          starting at 0. *)
+  | Trace of int array
+      (** Explicit sorted release times (duplicates allowed). *)
+
+val validate : pattern -> (unit, string) result
+
+val release_times : pattern -> horizon:int -> int array
+(** All release times [<= horizon], in non-decreasing order. *)
+
+val arrival_function : pattern -> horizon:int -> Rta_curve.Step.t
+(** The arrival function (Definition 1) of the releases within the
+    horizon. *)
+
+val envelope : pattern -> release_horizon:int -> Rta_curve.Envelope.t
+(** A sound arrival envelope for the pattern (for
+    {!Rta_core.Envelope_analysis}): exact staircases for the periodic
+    shapes, the tight trace envelope for [Bursty] and [Trace] (computed
+    over the releases within [release_horizon]). *)
+
+val rate_per_tick_denominator : pattern -> int option
+(** For patterns with an asymptotic period, that period in ticks (the
+    long-run inter-release time); [None] for [Trace].  Used for utilization
+    accounting. *)
+
+val pp : Format.formatter -> pattern -> unit

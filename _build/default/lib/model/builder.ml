@@ -1,0 +1,56 @@
+type t = {
+  schedulers : Sched.t array;
+  jobs_rev : System.job list;
+  auto : bool;
+}
+
+let spp = Sched.Spp
+let spnp = Sched.Spnp
+let fcfs = Sched.Fcfs
+
+let create schedulers =
+  { schedulers = Array.of_list schedulers; jobs_rev = []; auto = false }
+
+let periodic ?(offset = 0.0) period =
+  Arrival.Periodic
+    { period = max 1 (Time.of_units period); offset = Time.of_units offset }
+
+let bursty period = Arrival.Bursty { period = max 1 (Time.of_units period) }
+
+let burst_periodic ?(offset = 0.0) ~burst period =
+  Arrival.Burst_periodic
+    {
+      burst;
+      period = max 1 (Time.of_units period);
+      offset = Time.of_units offset;
+    }
+
+let sporadic ~count min_gap =
+  Arrival.Sporadic_worst { min_gap = max 1 (Time.of_units min_gap); count }
+
+let trace times =
+  Arrival.Trace (Array.of_list (List.sort compare (List.map Time.of_units times)))
+
+let on proc exec ?(prio = 1) () =
+  { System.proc; exec = max 1 (Time.of_units_ceil exec); prio }
+
+let job name ~arrival ~deadline ~chain t =
+  let j =
+    {
+      System.name;
+      arrival;
+      deadline = max 1 (Time.of_units_ceil deadline);
+      steps = Array.of_list chain;
+    }
+  in
+  { t with jobs_rev = j :: t.jobs_rev }
+
+let auto_prio t = { t with auto = true }
+
+let build t =
+  let jobs = Array.of_list (List.rev t.jobs_rev) in
+  let jobs = if t.auto then Priority.deadline_monotonic jobs else jobs in
+  System.make ~schedulers:t.schedulers ~jobs
+
+let build_exn t =
+  match build t with Ok s -> s | Error e -> invalid_arg ("Builder.build: " ^ e)

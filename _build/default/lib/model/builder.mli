@@ -1,0 +1,61 @@
+(** Fluent construction of systems.
+
+    The record literals of {!System} are explicit but verbose; this builder
+    reads like the system description language, with times in paper units:
+
+    {[
+      let system =
+        Builder.(
+          create [ spp; spp; fcfs ]
+          |> job "control" ~arrival:(periodic 5.0) ~deadline:4.0
+               ~chain:[ on 0 1.0 ~prio:1; on 1 1.5 ~prio:1 ]
+          |> job "logger" ~arrival:(bursty 4.0) ~deadline:12.0
+               ~chain:[ on 0 0.8 ~prio:2 ]
+          |> build)
+    ]}
+
+    [build] validates like {!System.make}; [build_exn] raises.  Use
+    [auto_prio] to skip all [~prio] arguments and apply Eq. 24 instead. *)
+
+type t
+(** A system under construction. *)
+
+val spp : Sched.t
+val spnp : Sched.t
+val fcfs : Sched.t
+
+val create : Sched.t list -> t
+(** One scheduler per processor. *)
+
+val periodic : ?offset:float -> float -> Arrival.pattern
+(** [periodic ?offset period] in time units. *)
+
+val bursty : float -> Arrival.pattern
+(** Eq. 27 with the given asymptotic period, in units. *)
+
+val burst_periodic : ?offset:float -> burst:int -> float -> Arrival.pattern
+val sporadic : count:int -> float -> Arrival.pattern
+(** [sporadic ~count min_gap]. *)
+
+val trace : float list -> Arrival.pattern
+(** Explicit release times in units. *)
+
+val on : int -> float -> ?prio:int -> unit -> System.step
+(** [on proc exec ?prio ()]: one subjob; [exec] in units; [prio] defaults
+    to 1. *)
+
+val job :
+  string ->
+  arrival:Arrival.pattern ->
+  deadline:float ->
+  chain:System.step list ->
+  t ->
+  t
+(** Append a job ([deadline] in units; [chain] in execution order). *)
+
+val auto_prio : t -> t
+(** Replace all priorities by the Eq. 24 deadline-monotonic assignment at
+    [build] time. *)
+
+val build : t -> (System.t, string) result
+val build_exn : t -> System.t

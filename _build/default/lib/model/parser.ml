@@ -1,0 +1,234 @@
+(* Line-oriented system description parser; see parser.mli for the
+   grammar. *)
+
+type partial_job = {
+  name : string;
+  arrival : Arrival.pattern;
+  deadline : int;
+  steps_rev : System.step list;
+}
+
+let err line fmt = Format.kasprintf (fun s -> Error (Printf.sprintf "line %d: %s" line s)) fmt
+
+let split_words s =
+  String.split_on_char ' ' s |> List.filter (fun w -> w <> "")
+
+(* key=value tokens. *)
+let assoc_of_tokens tokens =
+  List.filter_map
+    (fun tok ->
+      match String.index_opt tok '=' with
+      | None -> None
+      | Some i ->
+          Some
+            ( String.sub tok 0 i,
+              String.sub tok (i + 1) (String.length tok - i - 1) ))
+    tokens
+
+let parse_units line s =
+  match float_of_string_opt s with
+  | Some f when f >= 0. -> Ok (Time.of_units f)
+  | Some _ | None -> err line "expected a non-negative number, got %S" s
+
+let parse_units_exec line s =
+  match float_of_string_opt s with
+  | Some f when f > 0. -> Ok (max 1 (Time.of_units_ceil f))
+  | Some _ | None -> err line "expected a positive number, got %S" s
+
+let lookup line kvs key =
+  match List.assoc_opt key kvs with
+  | Some v -> Ok v
+  | None -> err line "missing %s=..." key
+
+let lookup_default kvs key default =
+  Option.value ~default (List.assoc_opt key kvs)
+
+let ( let* ) = Result.bind
+
+let parse_arrival line tokens =
+  match tokens with
+  | "periodic" :: rest ->
+      let kvs = assoc_of_tokens rest in
+      let* p = lookup line kvs "period" in
+      let* period = parse_units_exec line p in
+      let* offset = parse_units line (lookup_default kvs "offset" "0") in
+      Ok (Arrival.Periodic { period; offset }, rest)
+  | "bursty" :: rest ->
+      let kvs = assoc_of_tokens rest in
+      let* p = lookup line kvs "period" in
+      let* period = parse_units_exec line p in
+      Ok (Arrival.Bursty { period }, rest)
+  | "burst_periodic" :: rest ->
+      let kvs = assoc_of_tokens rest in
+      let* b = lookup line kvs "burst" in
+      let* p = lookup line kvs "period" in
+      let* period = parse_units_exec line p in
+      let* offset = parse_units line (lookup_default kvs "offset" "0") in
+      (match int_of_string_opt b with
+      | Some burst when burst >= 1 ->
+          Ok (Arrival.Burst_periodic { burst; period; offset }, rest)
+      | Some _ | None -> err line "burst must be a positive integer")
+  | "sporadic" :: rest ->
+      let kvs = assoc_of_tokens rest in
+      let* g = lookup line kvs "min_gap" in
+      let* min_gap = parse_units_exec line g in
+      let* c = lookup line kvs "count" in
+      (match int_of_string_opt c with
+      | Some count when count >= 0 ->
+          Ok (Arrival.Sporadic_worst { min_gap; count }, rest)
+      | Some _ | None -> err line "count must be a non-negative integer")
+  | "trace" :: spec :: rest ->
+      let parts = String.split_on_char ',' spec in
+      let rec convert acc = function
+        | [] -> Ok (Arrival.Trace (Array.of_list (List.rev acc)), rest)
+        | p :: tl -> (
+            match parse_units line p with
+            | Ok t -> convert (t :: acc) tl
+            | Error _ as e -> e)
+      in
+      convert [] parts
+  | kind :: _ -> err line "unknown arrival kind %S" kind
+  | [] -> err line "missing arrival kind"
+
+let parse_job_header line tokens =
+  match tokens with
+  | name :: "arrival" :: rest -> (
+      let* arrival, _rest = parse_arrival line rest in
+      let rec find_deadline = function
+        | "deadline" :: v :: _ -> parse_units_exec line v
+        | _ :: tl -> find_deadline tl
+        | [] -> err line "missing deadline"
+      in
+      let* deadline = find_deadline tokens in
+      Ok { name; arrival; deadline; steps_rev = [] })
+  | _ -> err line "expected: job NAME arrival KIND ... deadline D"
+
+let parse_step line tokens =
+  let kvs = assoc_of_tokens tokens in
+  let* p = lookup line kvs "proc" in
+  let* e = lookup line kvs "exec" in
+  match int_of_string_opt p with
+  | None -> err line "proc must be an integer"
+  | Some proc ->
+      let* exec = parse_units_exec line e in
+      let prio =
+        match int_of_string_opt (lookup_default kvs "prio" "1") with
+        | Some pr -> pr
+        | None -> 1
+      in
+      Ok { System.proc; exec; prio }
+
+let parse text =
+  let lines = String.split_on_char '\n' text in
+  let rec go lineno schedulers jobs current = function
+    | [] ->
+        let jobs =
+          match current with None -> jobs | Some j -> j :: jobs
+        in
+        let finalize j =
+          {
+            System.name = j.name;
+            arrival = j.arrival;
+            deadline = j.deadline;
+            steps = Array.of_list (List.rev j.steps_rev);
+          }
+        in
+        (match schedulers with
+        | None -> Error "missing 'processors ...' line"
+        | Some scheds ->
+            System.make ~schedulers:scheds
+              ~jobs:(Array.of_list (List.rev_map finalize jobs)))
+    | raw :: rest -> (
+        let line = String.trim raw in
+        let comment = String.length line = 0 || line.[0] = '#' in
+        if comment then go (lineno + 1) schedulers jobs current rest
+        else
+          match split_words line with
+          | "processors" :: kinds -> (
+              let parse_one k = Sched.of_string k in
+              let rec all acc = function
+                | [] -> Ok (Array.of_list (List.rev acc))
+                | k :: tl -> (
+                    match parse_one k with
+                    | Ok s -> all (s :: acc) tl
+                    | Error e -> err lineno "%s" e)
+              in
+              match all [] kinds with
+              | Ok scheds -> go (lineno + 1) (Some scheds) jobs current rest
+              | Error e -> Error e)
+          | "job" :: tokens -> (
+              let jobs = match current with None -> jobs | Some j -> j :: jobs in
+              match parse_job_header lineno tokens with
+              | Ok j -> go (lineno + 1) schedulers jobs (Some j) rest
+              | Error e -> Error e)
+          | "step" :: tokens -> (
+              match current with
+              | None -> err lineno "step before any job"
+              | Some j -> (
+                  match parse_step lineno tokens with
+                  | Ok s ->
+                      go (lineno + 1) schedulers jobs
+                        (Some { j with steps_rev = s :: j.steps_rev })
+                        rest
+                  | Error e -> Error e))
+          | word :: _ -> err lineno "unknown directive %S" word
+          | [] -> go (lineno + 1) schedulers jobs current rest)
+  in
+  go 1 None [] None lines
+
+let parse_file path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | text -> parse text
+  | exception Sys_error e -> Error e
+
+let units_string t =
+  (* Shortest decimal representation that survives the round trip. *)
+  let f = Time.to_units t in
+  if Float.is_integer f then Printf.sprintf "%.0f" f else Printf.sprintf "%g" f
+
+let print_arrival buf = function
+  | Arrival.Periodic { period; offset } ->
+      Buffer.add_string buf
+        (Printf.sprintf "periodic period=%s%s" (units_string period)
+           (if offset = 0 then "" else " offset=" ^ units_string offset))
+  | Arrival.Bursty { period } ->
+      Buffer.add_string buf (Printf.sprintf "bursty period=%s" (units_string period))
+  | Arrival.Burst_periodic { burst; period; offset } ->
+      Buffer.add_string buf
+        (Printf.sprintf "burst_periodic burst=%d period=%s%s" burst
+           (units_string period)
+           (if offset = 0 then "" else " offset=" ^ units_string offset))
+  | Arrival.Sporadic_worst { min_gap; count } ->
+      Buffer.add_string buf
+        (Printf.sprintf "sporadic min_gap=%s count=%d" (units_string min_gap) count)
+  | Arrival.Trace times ->
+      Buffer.add_string buf "trace ";
+      Array.iteri
+        (fun i t ->
+          if i > 0 then Buffer.add_char buf ',';
+          Buffer.add_string buf (units_string t))
+        times
+
+let print system =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "processors";
+  for p = 0 to System.processor_count system - 1 do
+    Buffer.add_char buf ' ';
+    Buffer.add_string buf (Sched.to_string (System.scheduler_of system p))
+  done;
+  Buffer.add_char buf '\n';
+  for j = 0 to System.job_count system - 1 do
+    let job = System.job system j in
+    Buffer.add_char buf '\n';
+    Buffer.add_string buf (Printf.sprintf "job %s arrival " job.System.name);
+    print_arrival buf job.System.arrival;
+    Buffer.add_string buf
+      (Printf.sprintf " deadline %s\n" (units_string job.System.deadline));
+    Array.iter
+      (fun (s : System.step) ->
+        Buffer.add_string buf
+          (Printf.sprintf "  step proc=%d exec=%s prio=%d\n" s.System.proc
+             (units_string s.System.exec) s.System.prio))
+      job.System.steps
+  done;
+  Buffer.contents buf

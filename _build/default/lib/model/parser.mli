@@ -1,0 +1,36 @@
+(** Textual system descriptions.
+
+    A small line-oriented format so systems can be analyzed from files with
+    the [rta] command-line tool:
+
+    {v
+    # comment; blank lines ignored; times are in units (1 unit = 1000 ticks)
+    processors spp spp fcfs
+
+    job T1 arrival periodic period=5.0 deadline 12.5
+      step proc=0 exec=0.5 prio=1
+      step proc=2 exec=0.4
+
+    job T2 arrival bursty period=3.0 deadline 9.0
+      step proc=1 exec=0.25 prio=2
+
+    job T3 arrival trace 0.0,1.5,1.5,9.25 deadline 4.0
+      step proc=1 exec=0.5 prio=1
+    v}
+
+    Arrival forms: [periodic period=P [offset=O]], [bursty period=P],
+    [burst_periodic burst=N period=P [offset=O]],
+    [sporadic min_gap=G count=N], [trace t1,t2,...].
+    [prio] defaults to 1 (FCFS processors ignore it).
+
+    Priorities may be omitted everywhere and assigned afterwards with
+    {!Priority.deadline_monotonic} (the [rta] tool's [--auto-prio]). *)
+
+val parse : string -> (System.t, string) result
+(** Parse a description from a string.  Errors carry the line number. *)
+
+val parse_file : string -> (System.t, string) result
+
+val print : System.t -> string
+(** Render a system back into the textual format ([parse] of the result
+    yields an equal system). *)

@@ -1,0 +1,20 @@
+(** Priority assignment policies.
+
+    The paper's results hold for arbitrary priority assignments; its
+    evaluation uses the relative-deadline-monotonic rule of Eq. 24: subjob
+    [T_ij] gets the sub-deadline [D_ij = tau_ij / (sum_k tau_ik) * D_i], and
+    subjobs sharing a processor are ranked by increasing sub-deadline. *)
+
+val deadline_monotonic : System.job array -> System.job array
+(** Replace every subjob's [prio] by its Eq. 24 rank on its processor
+    (1 = highest).  Ties are broken by (job, step) index, making the
+    assignment deterministic.  Priorities are unique per processor. *)
+
+val rate_monotonic : System.job array -> System.job array
+(** Classic rate-monotonic ranks (by the job's asymptotic period, shorter
+    period = higher priority).  Jobs with [Trace] arrivals are ranked last.
+    Ties broken by (job, step) index; unique per processor. *)
+
+val subdeadline : System.job -> int -> float
+(** [subdeadline job i] is Eq. 24's [D_{job,i}] in ticks (as a float; used
+    for ranking only). *)

@@ -1,0 +1,18 @@
+type t = Spp | Spnp | Fcfs
+
+let equal a b =
+  match (a, b) with
+  | Spp, Spp | Spnp, Spnp | Fcfs, Fcfs -> true
+  | (Spp | Spnp | Fcfs), _ -> false
+
+let to_string = function Spp -> "spp" | Spnp -> "spnp" | Fcfs -> "fcfs"
+
+let of_string s =
+  match String.lowercase_ascii s with
+  | "spp" -> Ok Spp
+  | "spnp" -> Ok Spnp
+  | "fcfs" -> Ok Fcfs
+  | other -> Error (Printf.sprintf "unknown scheduler %S (spp|spnp|fcfs)" other)
+
+let pp ppf s = Format.pp_print_string ppf (to_string s)
+let all = [ Spp; Spnp; Fcfs ]

@@ -1,0 +1,12 @@
+(** Per-processor scheduling policies analyzed by the paper. *)
+
+type t =
+  | Spp  (** Static-priority preemptive (Section 4.1: exact analysis). *)
+  | Spnp  (** Static-priority non-preemptive (Section 4.2.2). *)
+  | Fcfs  (** First-come-first-served (Section 4.2.3). *)
+
+val equal : t -> t -> bool
+val to_string : t -> string
+val of_string : string -> (t, string) result
+val pp : Format.formatter -> t -> unit
+val all : t list

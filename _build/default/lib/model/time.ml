@@ -1,0 +1,34 @@
+let ticks_per_unit = 1000
+
+let of_units u =
+  let t = Float.round (u *. float_of_int ticks_per_unit) in
+  if Float.is_nan t || t < 0. then 0 else int_of_float t
+
+let of_units_ceil u =
+  let x = u *. float_of_int ticks_per_unit in
+  (* Binary representation noise (e.g. 2.043 * 1000 = 2043.0000000000002)
+     must not bump the ceiling: snap to the boundary when within 1e-6. *)
+  let nearest = Float.round x in
+  let t = if Float.abs (x -. nearest) < 1e-6 then nearest else Float.ceil x in
+  if Float.is_nan t || t < 0. then 0 else int_of_float t
+
+let to_units t = float_of_int t /. float_of_int ticks_per_unit
+
+let isqrt n =
+  if n < 0 then invalid_arg "Time.isqrt: negative input";
+  if n = 0 then 0
+  else begin
+    (* Float seed, then correct by at most a few steps: exact for all n that
+       fit in 62 bits because the seed is within 1 of the true root. *)
+    let r = ref (int_of_float (sqrt (float_of_int n))) in
+    while !r > 0 && !r * !r > n do
+      decr r
+    done;
+    while (!r + 1) * (!r + 1) <= n do
+      incr r
+    done;
+    !r
+  end
+
+let pp ppf t =
+  Format.fprintf ppf "%d.%03d" (t / ticks_per_unit) (abs (t mod ticks_per_unit))

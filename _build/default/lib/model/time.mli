@@ -1,0 +1,27 @@
+(** Integer tick time base.
+
+    The analysis is exact integer arithmetic over {e ticks}.  Workload
+    generators produce real-valued periods, execution times and deadlines
+    (the paper draws them from continuous distributions); they are quantized
+    here.  One {e time unit} of the paper is [ticks_per_unit] ticks. *)
+
+val ticks_per_unit : int
+(** Granularity of quantization: 1000 ticks per paper time unit. *)
+
+val of_units : float -> int
+(** Quantize a duration in time units to ticks (nearest, minimum 0). *)
+
+val of_units_ceil : float -> int
+(** Quantize rounding up (used for execution times, so workloads never
+    round to zero and quantization errs on the conservative side). *)
+
+val to_units : int -> float
+(** Ticks back to time units (for reporting only). *)
+
+val isqrt : int -> int
+(** Integer square root: largest [r] with [r * r <= n], for [n >= 0].
+    Used by the bursty arrival pattern (Eq. 27).
+    @raise Invalid_argument on negative input. *)
+
+val pp : Format.formatter -> int -> unit
+(** Prints a tick count as a decimal number of units, e.g. [1.500]. *)

@@ -1,0 +1,1 @@
+lib/sim/gantt.ml: Array Buffer Char List Option Printf Rta_curve Rta_model Sim String System

@@ -1,0 +1,1 @@
+lib/sim/gantt.mli: Rta_model Sim

@@ -1,0 +1,1 @@
+lib/sim/sim.ml: Array Arrival Heap List Option Rta_curve Rta_model Sched System

@@ -1,0 +1,53 @@
+open Rta_model
+module Pl = Rta_curve.Pl
+
+let letter j = Char.chr (Char.code 'A' + (j mod 26))
+
+let render ?upto ?(columns = 100) system result =
+  let upto = Option.value ~default:result.Sim.horizon upto in
+  let scale = max 1 ((upto + columns - 1) / columns) in
+  let cols = (upto + scale - 1) / scale in
+  let buf = Buffer.create ((System.processor_count system + 4) * (cols + 16)) in
+  (* Service received by a subjob within a slice = difference of its
+     cumulative service curve at the slice boundaries. *)
+  let served (id : System.subjob_id) a b =
+    let curve = result.Sim.service.(id.System.job).(id.System.step) in
+    Pl.eval curve (min b upto) - Pl.eval curve (min a upto)
+  in
+  for p = 0 to System.processor_count system - 1 do
+    Buffer.add_string buf (Printf.sprintf "P%-2d |" p);
+    let residents = System.subjobs_on system p in
+    for c = 0 to cols - 1 do
+      let a = c * scale and b = min upto ((c + 1) * scale) in
+      let slice = b - a in
+      let by_subjob =
+        List.map (fun id -> (id, served id a b)) residents
+        |> List.filter (fun (_, s) -> s > 0)
+        |> List.sort (fun (_, s1) (_, s2) -> compare s2 s1)
+      in
+      let ch =
+        match by_subjob with
+        | [] -> '.'
+        | (id, s) :: rest ->
+            let busy = List.fold_left (fun acc (_, s') -> acc + s') s rest in
+            if busy * 2 < slice then '.'
+            else if
+              match rest with (_, s2) :: _ -> s2 = s | [] -> false
+            then '?'
+            else letter id.System.job
+      in
+      Buffer.add_char buf ch
+    done;
+    Buffer.add_string buf "|\n"
+  done;
+  Buffer.add_string buf
+    (Printf.sprintf "     0%s%d ticks (1 char = %d)\n"
+       (String.make (max 1 (cols - String.length (string_of_int upto))) ' ')
+       upto scale);
+  Buffer.add_string buf "     ";
+  for j = 0 to System.job_count system - 1 do
+    Buffer.add_string buf
+      (Printf.sprintf "%c=%s  " (letter j) (System.job system j).System.name)
+  done;
+  Buffer.add_char buf '\n';
+  Buffer.contents buf

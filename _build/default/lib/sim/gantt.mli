@@ -1,0 +1,19 @@
+(** ASCII Gantt charts of simulation results.
+
+    One row per processor; each tick column shows which subjob held the
+    processor ([.] = idle).  Subjobs are lettered ['A'..] by job, with the
+    stage number appended in the legend.  Intended for examples, debugging
+    and documentation — the renderer compresses time by an integer scale so
+    long horizons stay readable. *)
+
+val render :
+  ?upto:int ->
+  ?columns:int ->
+  Rta_model.System.t ->
+  Sim.result ->
+  string
+(** [render system result] draws processors over [0, upto] (default: the
+    result's horizon) into at most [columns] (default 100) characters per
+    row; each character covers [ceil (upto / columns)] ticks and shows the
+    subjob that ran the {e majority} of that slice ([.] if mostly idle,
+    [?] on ties).  Includes a legend mapping letters to job names. *)

@@ -1,0 +1,13 @@
+(** Minimal binary min-heap used by the event-driven simulator. *)
+
+type 'a t
+
+val create : cmp:('a -> 'a -> int) -> 'a t
+val is_empty : 'a t -> bool
+val size : 'a t -> int
+val push : 'a t -> 'a -> unit
+
+val pop : 'a t -> 'a option
+(** Removes and returns the smallest element. *)
+
+val peek : 'a t -> 'a option

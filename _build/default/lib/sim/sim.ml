@@ -1,0 +1,267 @@
+(* Event-driven simulator; see sim.mli for the semantics contract. *)
+
+open Rta_model
+
+type instance_record = {
+  instance : int;
+  released : int;
+  completed : int option;
+}
+
+type result = {
+  horizon : int;
+  per_job : instance_record array array;
+  departures : Rta_curve.Step.t array array;
+  busy : Rta_curve.Pl.t array;
+  service : Rta_curve.Pl.t array array;
+}
+
+(* A subjob instance waiting for (or receiving) service. *)
+type work = {
+  job : int;
+  step : int;
+  instance : int;
+  prio : int;
+  arrival : int;  (* release time at this processor *)
+  seq : int;  (* global tie-break, increasing with release order *)
+  mutable remaining : int;
+}
+
+type running = { work : work; mutable resumed_at : int }
+
+type proc_state = {
+  sched : Sched.t;
+  ready : work Heap.t;
+  mutable current : running option;
+  mutable gen : int;  (* invalidates tentative completion events *)
+}
+
+type event =
+  | Complete of { proc : int; gen : int }
+  | Release of work
+
+(* Event ordering: by time, completions before releases at the same instant,
+   then by insertion sequence for determinism. *)
+type queued = { time : int; rank : int; eseq : int; event : event }
+
+let compare_queued a b =
+  compare (a.time, a.rank, a.eseq) (b.time, b.rank, b.eseq)
+
+let ready_cmp sched a b =
+  match sched with
+  | Sched.Fcfs -> compare (a.arrival, a.seq) (b.arrival, b.seq)
+  | Sched.Spp | Sched.Spnp -> compare (a.prio, a.arrival, a.seq) (b.prio, b.arrival, b.seq)
+
+(* Accumulates disjoint, time-ordered service intervals and renders them as
+   a cumulative Pl curve (slope 1 inside intervals, 0 outside). *)
+module Accum = struct
+  type t = { mutable intervals : (int * int) list (* reversed *) }
+
+  let create () = { intervals = [] }
+
+  let add acc s e =
+    if e > s then
+      match acc.intervals with
+      | (s', e') :: rest when e' = s -> acc.intervals <- (s', e) :: rest
+      | l -> acc.intervals <- (s, e) :: l
+
+  let to_pl acc =
+    let rec build v knots = function
+      | [] -> List.rev knots
+      | (s, e) :: rest ->
+          let knots = if s > 0 || v > 0 then (s, v) :: knots else knots in
+          build (v + e - s) ((e, v + e - s) :: knots) rest
+    in
+    let intervals = List.rev acc.intervals in
+    let knots = build 0 [] intervals in
+    let knots = match knots with (0, _) :: _ -> knots | l -> (0, 0) :: l in
+    Rta_curve.Pl.of_knots ~tail:0 knots
+end
+
+let run ?release_horizon system ~horizon =
+  let release_horizon = Option.value ~default:horizon release_horizon in
+  if release_horizon > horizon then
+    invalid_arg "Sim.run: release_horizon exceeds horizon";
+  let n_procs = System.processor_count system in
+  let n_jobs = System.job_count system in
+  let procs =
+    Array.init n_procs (fun p ->
+        let sched = System.scheduler_of system p in
+        {
+          sched;
+          ready = Heap.create ~cmp:(ready_cmp sched);
+          current = None;
+          gen = 0;
+        })
+  in
+  let events = Heap.create ~cmp:compare_queued in
+  let eseq = ref 0 in
+  let push_event time rank event =
+    incr eseq;
+    Heap.push events { time; rank; eseq = !eseq; event }
+  in
+  let seq = ref 0 in
+  let next_seq () =
+    incr seq;
+    !seq
+  in
+  (* Bookkeeping. *)
+  let releases =
+    Array.init n_jobs (fun j ->
+        Arrival.release_times (System.job system j).arrival
+          ~horizon:release_horizon)
+  in
+  let completions =
+    Array.init n_jobs (fun j ->
+        Array.init
+          (Array.length (System.job system j).steps)
+          (fun _ -> ref []))
+  in
+  let end_to_end = Array.init n_jobs (fun j -> Array.make (Array.length releases.(j)) None) in
+  let busy_acc = Array.init n_procs (fun _ -> Accum.create ()) in
+  let service_acc =
+    Array.init n_jobs (fun j ->
+        Array.init (Array.length (System.job system j).steps) (fun _ ->
+            Accum.create ()))
+  in
+  let record_service w s e =
+    Accum.add service_acc.(w.job).(w.step) s e;
+    Accum.add busy_acc.((System.job system w.job).steps.(w.step).proc) s e
+  in
+  (* Seed first-stage releases. *)
+  Array.iteri
+    (fun j times ->
+      Array.iteri
+        (fun m_minus_1 t ->
+          let step0 = (System.job system j).steps.(0) in
+          push_event t 1
+            (Release
+               {
+                 job = j;
+                 step = 0;
+                 instance = m_minus_1 + 1;
+                 prio = step0.prio;
+                 arrival = t;
+                 seq = next_seq ();
+                 remaining = step0.exec;
+               }))
+        times)
+    releases;
+  let start_next p t =
+    let ps = procs.(p) in
+    match ps.current with
+    | Some _ -> ()
+    | None -> (
+        match Heap.pop ps.ready with
+        | None -> ()
+        | Some w ->
+            ps.current <- Some { work = w; resumed_at = t };
+            push_event (t + w.remaining) 0 (Complete { proc = p; gen = ps.gen }))
+  in
+  let preempt_if_needed p t (incoming : work) =
+    let ps = procs.(p) in
+    match (ps.sched, ps.current) with
+    | Sched.Spp, Some r when incoming.prio < r.work.prio ->
+        (* Put the current work back with its residual demand. *)
+        record_service r.work r.resumed_at t;
+        r.work.remaining <- r.work.remaining - (t - r.resumed_at);
+        Heap.push ps.ready r.work;
+        ps.current <- None;
+        ps.gen <- ps.gen + 1
+    | (Sched.Spp | Sched.Spnp | Sched.Fcfs), _ -> ()
+  in
+  let on_release t (w : work) =
+    let p = (System.job system w.job).steps.(w.step).proc in
+    preempt_if_needed p t w;
+    Heap.push procs.(p).ready w;
+    start_next p t
+  in
+  let on_complete t p gen =
+    let ps = procs.(p) in
+    if gen = ps.gen then begin
+      match ps.current with
+      | None -> ()
+      | Some r ->
+          let w = r.work in
+          record_service w r.resumed_at t;
+          w.remaining <- 0;
+          ps.current <- None;
+          ps.gen <- ps.gen + 1;
+          completions.(w.job).(w.step) := t :: !(completions.(w.job).(w.step));
+          let steps = (System.job system w.job).steps in
+          if w.step + 1 < Array.length steps then begin
+            let s' = steps.(w.step + 1) in
+            push_event t 1
+              (Release
+                 {
+                   job = w.job;
+                   step = w.step + 1;
+                   instance = w.instance;
+                   prio = s'.prio;
+                   arrival = t;
+                   seq = next_seq ();
+                   remaining = s'.exec;
+                 })
+          end
+          else end_to_end.(w.job).(w.instance - 1) <- Some t;
+          start_next p t
+    end
+  in
+  let rec loop () =
+    match Heap.peek events with
+    | Some q when q.time <= horizon ->
+        ignore (Heap.pop events);
+        (match q.event with
+        | Release w -> on_release q.time w
+        | Complete { proc; gen } -> on_complete q.time proc gen);
+        loop ()
+    | Some _ | None -> ()
+  in
+  loop ();
+  (* Account for work still running at the horizon. *)
+  Array.iter
+    (fun ps ->
+      match ps.current with
+      | Some r when r.resumed_at < horizon -> record_service r.work r.resumed_at horizon
+      | Some _ | None -> ())
+    procs;
+  let per_job =
+    Array.init n_jobs (fun j ->
+        Array.mapi
+          (fun i released ->
+            { instance = i + 1; released; completed = end_to_end.(j).(i) })
+          releases.(j))
+  in
+  let departures =
+    Array.init n_jobs (fun j ->
+        Array.map
+          (fun times ->
+            Rta_curve.Step.of_arrival_times
+              (Array.of_list (List.rev !times)))
+          completions.(j))
+  in
+  {
+    horizon;
+    per_job;
+    departures;
+    busy = Array.map Accum.to_pl busy_acc;
+    service = Array.map (Array.map Accum.to_pl) service_acc;
+  }
+
+let worst_response result j =
+  Array.fold_left
+    (fun acc r ->
+      match r.completed with
+      | None -> acc
+      | Some c -> (
+          let resp = c - r.released in
+          match acc with None -> Some resp | Some m -> Some (max m resp)))
+    None result.per_job.(j)
+
+let all_completed result j =
+  Array.for_all (fun r -> r.completed <> None) result.per_job.(j)
+
+let response_times result j =
+  Array.to_list result.per_job.(j)
+  |> List.filter_map (fun (r : instance_record) ->
+         Option.map (fun c -> (r.instance, c - r.released)) r.completed)

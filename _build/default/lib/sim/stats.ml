@@ -1,0 +1,42 @@
+type summary = {
+  count : int;
+  released : int;
+  mean : float;
+  p50 : int;
+  p95 : int;
+  p99 : int;
+  worst : int;
+}
+
+let percentile values p =
+  if values = [] then invalid_arg "Stats.percentile: empty list";
+  if p < 0. || p > 1. then invalid_arg "Stats.percentile: p outside [0, 1]";
+  let sorted = List.sort compare values in
+  let n = List.length sorted in
+  (* Nearest-rank: the smallest value with at least p * n values <= it. *)
+  let rank = int_of_float (Float.ceil (p *. float_of_int n)) in
+  List.nth sorted (max 0 (min (n - 1) (rank - 1)))
+
+let response_summary result ~job =
+  let responses = List.map snd (Sim.response_times result job) in
+  match responses with
+  | [] -> None
+  | _ ->
+      let count = List.length responses in
+      let released = Array.length result.Sim.per_job.(job) in
+      let total = List.fold_left ( + ) 0 responses in
+      Some
+        {
+          count;
+          released;
+          mean = float_of_int total /. float_of_int count;
+          p50 = percentile responses 0.50;
+          p95 = percentile responses 0.95;
+          p99 = percentile responses 0.99;
+          worst = List.fold_left max 0 responses;
+        }
+
+let pp_summary ppf s =
+  Format.fprintf ppf
+    "%d/%d completed; mean %.1f p50 %d p95 %d p99 %d worst %d (ticks)" s.count
+    s.released s.mean s.p50 s.p95 s.p99 s.worst

@@ -1,0 +1,26 @@
+(** Response-time statistics over simulation results.
+
+    The analysis gives worst-case guarantees; these descriptive statistics
+    say how the {e actual} (simulated) responses distribute below them —
+    the gap is the price of determinism (cf. the paper's remark that
+    synchronization lowers worst cases but raises averages). *)
+
+type summary = {
+  count : int;  (** completed instances *)
+  released : int;  (** released instances (count <= released) *)
+  mean : float;
+  p50 : int;
+  p95 : int;
+  p99 : int;
+  worst : int;
+}
+
+val response_summary : Sim.result -> job:int -> summary option
+(** [None] when no instance completed. *)
+
+val percentile : int list -> float -> int
+(** [percentile values p] with [p] in [0, 1]: nearest-rank percentile of a
+    non-empty list (not necessarily sorted).
+    @raise Invalid_argument on an empty list or p outside [0, 1]. *)
+
+val pp_summary : Format.formatter -> summary -> unit

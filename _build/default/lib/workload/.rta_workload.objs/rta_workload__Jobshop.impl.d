@@ -1,0 +1,1 @@
+lib/workload/jobshop.ml: Array Arrival Printf Priority Rng Rta_model Sched System Time

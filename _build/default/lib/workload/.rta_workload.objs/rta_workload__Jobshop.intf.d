@@ -1,0 +1,1 @@
+lib/workload/jobshop.mli: Rng Rta_model

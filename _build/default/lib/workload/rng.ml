@@ -1,0 +1,33 @@
+(* splitmix64 (Steele, Lea, Flood 2014): 64-bit state, one mix per draw. *)
+
+type t = { mutable state : int64 }
+
+let golden = 0x9E3779B97F4A7C15L
+
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let next t =
+  t.state <- Int64.add t.state golden;
+  mix t.state
+
+let make seed = { state = mix (Int64.of_int seed) }
+let split t = { state = next t }
+
+let float_unit t =
+  (* 53 random bits into (0,1): never exactly 0 or 1. *)
+  let bits = Int64.shift_right_logical (next t) 11 in
+  (Int64.to_float bits +. 0.5) *. (1.0 /. 9007199254740992.0)
+
+let int_range t lo hi =
+  if lo > hi then invalid_arg "Rng.int_range: empty range";
+  let span = hi - lo + 1 in
+  lo + Int64.to_int (Int64.rem (Int64.shift_right_logical (next t) 1) (Int64.of_int span))
+
+let uniform t lo hi = lo +. (float_unit t *. (hi -. lo))
+
+let exponential t ~mean =
+  if mean <= 0. then invalid_arg "Rng.exponential: mean must be positive";
+  -.mean *. log (float_unit t)

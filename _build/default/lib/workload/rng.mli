@@ -1,0 +1,26 @@
+(** Deterministic splittable PRNG (splitmix64).
+
+    Experiments must be reproducible run-to-run and independent of
+    evaluation order, so every generator takes an explicit state; [split]
+    derives an independent stream (one per job set, one per job, ...)
+    without sharing mutable position. *)
+
+type t
+
+val make : int -> t
+(** Seeded state. *)
+
+val split : t -> t
+(** An independent stream; the original state advances. *)
+
+val int_range : t -> int -> int -> int
+(** [int_range t lo hi] is uniform in [lo, hi] inclusive.  [lo <= hi]. *)
+
+val float_unit : t -> float
+(** Uniform in the open interval (0, 1). *)
+
+val uniform : t -> float -> float -> float
+(** Uniform in [lo, hi). *)
+
+val exponential : t -> mean:float -> float
+(** Exponentially distributed with the given mean ([> 0]). *)

@@ -1,0 +1,1 @@
+test/core/test_analysis.ml: Alcotest Array Arrival Hashtbl List Option Printf QCheck2 Rta_baselines Rta_core Rta_curve Rta_model Rta_sim Rta_testsupport Sched String System

@@ -1,0 +1,1 @@
+test/core/test_theorems.ml: Alcotest Array Arrival Fun List Option Printf Rta_core Rta_curve Rta_model Rta_sim Sched String System

@@ -1,0 +1,1054 @@
+(* Cross-validation of the paper's analysis against the event-driven
+   simulator, plus hand-computed classic examples.
+
+   The load-bearing properties:
+   - SPP exact analysis (Theorem 3) reproduces the simulation exactly:
+     identical departure functions and identical worst-case response times.
+   - SPNP and FCFS bounds (Theorems 5-9) bracket the simulation:
+     dep_lo <= dep_sim <= dep_hi pointwise, and every response-time verdict
+     dominates the simulated worst response. *)
+
+open Rta_model
+module Step = Rta_curve.Step
+module Pl = Rta_curve.Pl
+module Sg = Rta_testsupport.Sysgen
+
+let horizon = 400
+let release_horizon = 200
+
+let check_int = Alcotest.(check int)
+
+let analyze system =
+  match Rta_core.Engine.run ~release_horizon ~horizon system with
+  | Ok engine -> engine
+  | Error (`Cyclic _) -> Alcotest.fail "unexpected cyclic dependency"
+
+(* ------------------------------------------------------------------ *)
+(* Hand-computed single-processor SPP cases                            *)
+(* ------------------------------------------------------------------ *)
+
+let one_proc_system ?(sched = Sched.Spp) jobs =
+  System.make_exn ~schedulers:[| sched |] ~jobs:(Array.of_list jobs)
+
+let job ?(deadline = 1000) name arrival steps =
+  { System.name; arrival; deadline; steps = Array.of_list steps }
+
+let test_single_task () =
+  (* One periodic task alone: response = execution time, every instance. *)
+  let s =
+    one_proc_system
+      [ job "A" (Arrival.Periodic { period = 10; offset = 0 })
+          [ { System.proc = 0; exec = 3; prio = 1 } ] ]
+  in
+  let e = analyze s in
+  Alcotest.(check bool) "exact" true (Rta_core.Engine.is_exact e);
+  match Rta_core.Response.end_to_end e ~estimator:`Exact ~job:0 with
+  | Rta_core.Response.Bounded r -> check_int "response" 3 r
+  | Rta_core.Response.Unbounded -> Alcotest.fail "unbounded"
+
+let test_two_tasks_preemption () =
+  (* Classic: H (period 10, exec 3, prio 1), L (period 20, exec 5, prio 2),
+     simultaneous release.  L's first instance: 3 + 5 = 8; later instances
+     of H preempt L's successors.  Worst response of L within the horizon
+     matches the simulation; check the first-instance value directly. *)
+  let s =
+    one_proc_system
+      [
+        job "H" (Arrival.Periodic { period = 10; offset = 0 })
+          [ { System.proc = 0; exec = 3; prio = 1 } ];
+        job "L" (Arrival.Periodic { period = 20; offset = 0 })
+          [ { System.proc = 0; exec = 5; prio = 2 } ];
+      ]
+  in
+  let e = analyze s in
+  (match Rta_core.Response.end_to_end e ~estimator:`Exact ~job:1 with
+  | Rta_core.Response.Bounded r -> check_int "L response" 8 r
+  | Rta_core.Response.Unbounded -> Alcotest.fail "unbounded L");
+  match Rta_core.Response.end_to_end e ~estimator:`Exact ~job:0 with
+  | Rta_core.Response.Bounded r -> check_int "H response" 3 r
+  | Rta_core.Response.Unbounded -> Alcotest.fail "unbounded H"
+
+let test_spnp_blocking () =
+  (* Non-preemptive: H arrives at 1 just after L (exec 6) starts at 0;
+     H waits for L: response 5 + 2 = 7. *)
+  let s =
+    one_proc_system ~sched:Sched.Spnp
+      [
+        job "H" (Arrival.Trace [| 1 |]) [ { System.proc = 0; exec = 2; prio = 1 } ];
+        job "L" (Arrival.Trace [| 0 |]) [ { System.proc = 0; exec = 6; prio = 2 } ];
+      ]
+  in
+  let sim = Rta_sim.Sim.run ~release_horizon:horizon s ~horizon in
+  check_int "sim H response" 7
+    (Option.get (Rta_sim.Sim.worst_response sim 0));
+  let e = analyze s in
+  match Rta_core.Response.end_to_end e ~estimator:`Direct ~job:0 with
+  | Rta_core.Response.Bounded r ->
+      Alcotest.(check bool)
+        (Printf.sprintf "bound %d >= 7" r)
+        true (r >= 7)
+  | Rta_core.Response.Unbounded -> Alcotest.fail "unbounded"
+
+let test_two_stage_pipeline () =
+  (* Two-stage chain alone in the system: end-to-end = tau1 + tau2 for every
+     instance; the exact analysis must find exactly that. *)
+  let s =
+    System.make_exn
+      ~schedulers:[| Sched.Spp; Sched.Spp |]
+      ~jobs:
+        [|
+          job "A" (Arrival.Periodic { period = 12; offset = 0 })
+            [
+              { System.proc = 0; exec = 3; prio = 1 };
+              { System.proc = 1; exec = 4; prio = 1 };
+            ];
+        |]
+  in
+  let e = analyze s in
+  match Rta_core.Response.end_to_end e ~estimator:`Exact ~job:0 with
+  | Rta_core.Response.Bounded r -> check_int "pipeline response" 7 r
+  | Rta_core.Response.Unbounded -> Alcotest.fail "unbounded"
+
+let test_fcfs_two_jobs () =
+  (* FCFS: A (exec 4) arrives at 0, B (exec 3) at 1: B waits: resp 3+3=6. *)
+  let s =
+    one_proc_system ~sched:Sched.Fcfs
+      [
+        job "A" (Arrival.Trace [| 0 |]) [ { System.proc = 0; exec = 4; prio = 1 } ];
+        job "B" (Arrival.Trace [| 1 |]) [ { System.proc = 0; exec = 3; prio = 1 } ];
+      ]
+  in
+  let sim = Rta_sim.Sim.run ~release_horizon:horizon s ~horizon in
+  check_int "sim B response" 6 (Option.get (Rta_sim.Sim.worst_response sim 1));
+  let e = analyze s in
+  (match Rta_core.Response.end_to_end e ~estimator:`Direct ~job:1 with
+  | Rta_core.Response.Bounded r -> Alcotest.(check bool) "bound >= 6" true (r >= 6)
+  | Rta_core.Response.Unbounded -> Alcotest.fail "unbounded");
+  (* A arrived first: bound for A must cover 4 and stay modest. *)
+  match Rta_core.Response.end_to_end e ~estimator:`Direct ~job:0 with
+  | Rta_core.Response.Bounded r -> Alcotest.(check bool) "bound >= 4" true (r >= 4)
+  | Rta_core.Response.Unbounded -> Alcotest.fail "unbounded A"
+
+(* ------------------------------------------------------------------ *)
+(* Simulator sanity                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_sim_work_conserving () =
+  (* Total busy time equals total executed work when everything fits. *)
+  let s =
+    one_proc_system
+      [
+        job "A" (Arrival.Trace [| 0; 10 |]) [ { System.proc = 0; exec = 3; prio = 1 } ];
+        job "B" (Arrival.Trace [| 2 |]) [ { System.proc = 0; exec = 4; prio = 2 } ];
+      ]
+  in
+  let sim = Rta_sim.Sim.run ~release_horizon:horizon s ~horizon in
+  check_int "busy total" 10 (Pl.eval sim.Rta_sim.Sim.busy.(0) horizon);
+  check_int "A served" 6 (Pl.eval sim.Rta_sim.Sim.service.(0).(0) horizon);
+  check_int "B served" 4 (Pl.eval sim.Rta_sim.Sim.service.(1).(0) horizon)
+
+let test_sim_preemption_trace () =
+  (* H: exec 2 at t=1; L: exec 5 at t=0 (SPP).  L runs [0,1), preempted,
+     resumes [3,7): L completes at 7, H at 3. *)
+  let s =
+    one_proc_system
+      [
+        job "H" (Arrival.Trace [| 1 |]) [ { System.proc = 0; exec = 2; prio = 1 } ];
+        job "L" (Arrival.Trace [| 0 |]) [ { System.proc = 0; exec = 5; prio = 2 } ];
+      ]
+  in
+  let sim = Rta_sim.Sim.run ~release_horizon:horizon s ~horizon in
+  check_int "H completion" 3
+    (Option.get sim.Rta_sim.Sim.per_job.(0).(0).Rta_sim.Sim.completed);
+  check_int "L completion" 7
+    (Option.get sim.Rta_sim.Sim.per_job.(1).(0).Rta_sim.Sim.completed)
+
+(* ------------------------------------------------------------------ *)
+(* Properties: analysis vs simulation on random systems                *)
+(* ------------------------------------------------------------------ *)
+
+let qtest = Rta_testsupport.Gen.qtest
+
+let dep_between ~lo ~hi ~sim =
+  let ok = ref true in
+  for t = 0 to horizon do
+    let lo_v = Step.eval lo t and hi_v = Step.eval hi t and s_v = Step.eval sim t in
+    if not (lo_v <= s_v && s_v <= hi_v) then ok := false
+  done;
+  !ok
+
+let for_all_subjobs system f =
+  let ok = ref true in
+  for j = 0 to System.job_count system - 1 do
+    let steps = (System.job system j).System.steps in
+    for st = 0 to Array.length steps - 1 do
+      if not (f { System.job = j; step = st }) then ok := false
+    done
+  done;
+  !ok
+
+let prop_spp_exact_matches_sim =
+  let gen = Sg.system_gen ~sched_gen:(QCheck2.Gen.return Sched.Spp) ~release_horizon () in
+  qtest ~count:150 "SPP exact analysis = simulation (departures + responses)"
+    gen Sg.print_system (fun system ->
+      let e = analyze system in
+      let sim = Rta_sim.Sim.run ~release_horizon system ~horizon in
+      let deps_match =
+        for_all_subjobs system (fun id ->
+            let entry = Rta_core.Engine.entry e id in
+            let sim_dep = sim.Rta_sim.Sim.departures.(id.System.job).(id.System.step) in
+            (* Compare within the horizon only: the simulator stops at the
+               horizon while the analysis curve is truncated there too. *)
+            let ok = ref true in
+            for t = 0 to horizon do
+              if Step.eval entry.Rta_core.Engine.dep_lo t <> Step.eval sim_dep t
+              then ok := false
+            done;
+            !ok)
+      in
+      let responses_match =
+        let ok = ref true in
+        for j = 0 to System.job_count system - 1 do
+          match Rta_core.Response.end_to_end e ~estimator:`Exact ~job:j with
+          | Rta_core.Response.Bounded r ->
+              if not (Rta_sim.Sim.all_completed sim j) then ok := false
+              else if Rta_sim.Sim.worst_response sim j <> Some r then
+                if Rta_core.Response.instance_count e ~job:j > 0 then ok := false
+          | Rta_core.Response.Unbounded ->
+              if Rta_sim.Sim.all_completed sim j
+                 && Rta_core.Response.instance_count e ~job:j > 0
+              then ok := false
+        done;
+        !ok
+      in
+      deps_match && responses_match)
+
+let prop_bounds_bracket_sim sched name =
+  let gen = Sg.system_gen ~sched_gen:(QCheck2.Gen.return sched) ~release_horizon () in
+  qtest ~count:150 name gen Sg.print_system (fun system ->
+      let e = analyze system in
+      let sim = Rta_sim.Sim.run ~release_horizon system ~horizon in
+      let deps_bracket =
+        for_all_subjobs system (fun id ->
+            let entry = Rta_core.Engine.entry e id in
+            dep_between ~lo:entry.Rta_core.Engine.dep_lo
+              ~hi:entry.Rta_core.Engine.dep_hi
+              ~sim:sim.Rta_sim.Sim.departures.(id.System.job).(id.System.step))
+      in
+      let responses_dominate =
+        let ok = ref true in
+        for j = 0 to System.job_count system - 1 do
+          let sim_worst = Rta_sim.Sim.worst_response sim j in
+          List.iter
+            (fun estimator ->
+              match
+                (Rta_core.Response.end_to_end e ~estimator ~job:j, sim_worst)
+              with
+              | Rta_core.Response.Bounded r, Some w -> if r < w then ok := false
+              | Rta_core.Response.Bounded _, None -> ()
+              | Rta_core.Response.Unbounded, _ -> ())
+            [ `Direct; `Sum ]
+        done;
+        !ok
+      in
+      deps_bracket && responses_dominate)
+
+let prop_spnp_bounds = prop_bounds_bracket_sim Sched.Spnp "SPNP bounds bracket simulation"
+let prop_fcfs_bounds = prop_bounds_bracket_sim Sched.Fcfs "FCFS bounds bracket simulation"
+
+let prop_mixed_bounds =
+  let gen = Sg.system_gen ~release_horizon () in
+  qtest ~count:150 "mixed-scheduler bounds bracket simulation" gen
+    Sg.print_system (fun system ->
+      let e = analyze system in
+      let sim = Rta_sim.Sim.run ~release_horizon system ~horizon in
+      for_all_subjobs system (fun id ->
+          let entry = Rta_core.Engine.entry e id in
+          dep_between ~lo:entry.Rta_core.Engine.dep_lo
+            ~hi:entry.Rta_core.Engine.dep_hi
+            ~sim:sim.Rta_sim.Sim.departures.(id.System.job).(id.System.step)))
+
+let prop_fcfs_tie_free_exact =
+  (* Beyond the paper: without cross-subjob release ties, the FCFS analysis
+     is exact.  Jobs get pairwise coprime-ish periods and distinct offsets,
+     single stage, so ties cannot occur; departures must equal the
+     simulation tick for tick. *)
+  let gen =
+    let open QCheck2.Gen in
+    let* n = int_range 1 4 in
+    let* specs =
+      list_repeat n
+        (let* period_base = int_range 3 12 in
+         let* tau = int_range 1 3 in
+         return (period_base, tau))
+    in
+    return specs
+  in
+  qtest ~count:100 "FCFS is exact on tie-free single-stage systems" gen
+    (fun specs ->
+      String.concat ";" (List.map (fun (p, t) -> Printf.sprintf "(%d,%d)" p t) specs))
+    (fun specs ->
+      let primes = [| 101; 103; 107; 109 |] in
+      let jobs =
+        List.mapi
+          (fun i (period_base, tau) ->
+            {
+              System.name = Printf.sprintf "T%d" i;
+              (* Distinct prime periods and distinct offsets: release times
+                 i + m * prime never coincide across jobs within the
+                 horizon (well below the pairwise lcm). *)
+              arrival =
+                Arrival.Periodic { period = primes.(i) + period_base; offset = i + 1 };
+              deadline = 100000;
+              steps = [| { System.proc = 0; exec = tau; prio = 1 } |];
+            })
+          specs
+        |> Array.of_list
+      in
+      let system = System.make_exn ~schedulers:[| Sched.Fcfs |] ~jobs in
+      (* The distinct offsets make most instances tie-free, but period sums
+         can still collide; compute ground truth and require the engine's
+         exactness claim to match it, and the claim to be honest. *)
+      let tie_free =
+        let seen = Hashtbl.create 64 in
+        let ok = ref true in
+        Array.iteri
+          (fun j job ->
+            Array.iter
+              (fun t ->
+                match Hashtbl.find_opt seen t with
+                | Some j' when j' <> j -> ok := false
+                | Some _ | None -> Hashtbl.replace seen t j)
+              (Arrival.release_times job.System.arrival ~horizon:release_horizon))
+          jobs;
+        !ok
+      in
+      let e = analyze system in
+      let sim = Rta_sim.Sim.run ~release_horizon system ~horizon in
+      Rta_core.Engine.is_exact e = tie_free
+      && ((not tie_free)
+         || for_all_subjobs system (fun id ->
+                let entry = Rta_core.Engine.entry e id in
+                let sim_dep =
+                  sim.Rta_sim.Sim.departures.(id.System.job).(id.System.step)
+                in
+                let ok = ref true in
+                for t = 0 to horizon do
+                  if
+                    Step.eval entry.Rta_core.Engine.dep_lo t
+                    <> Step.eval sim_dep t
+                  then ok := false
+                done;
+                !ok)))
+
+let prop_sum_dominates_direct =
+  let gen = Sg.system_gen ~release_horizon () in
+  qtest ~count:100 "Thm 4 sum estimator is never tighter than direct" gen
+    Sg.print_system (fun system ->
+      let e = analyze system in
+      let ok = ref true in
+      for j = 0 to System.job_count system - 1 do
+        match
+          ( Rta_core.Response.end_to_end e ~estimator:`Direct ~job:j,
+            Rta_core.Response.end_to_end e ~estimator:`Sum ~job:j )
+        with
+        | Rta_core.Response.Bounded d, Rta_core.Response.Bounded s ->
+            if s < d then ok := false
+        | Rta_core.Response.Unbounded, Rta_core.Response.Bounded _ -> ok := false
+        | _, Rta_core.Response.Unbounded -> ()
+      done;
+      !ok)
+
+(* ------------------------------------------------------------------ *)
+(* Fixpoint: cyclic systems (Section 6 extension)                      *)
+(* ------------------------------------------------------------------ *)
+
+let cyclic_system () =
+  (* Two jobs crossing two SPP processors in opposite orders with
+     interlocking priorities: T1 = P0 -> P1, T2 = P1 -> P0; on each
+     processor the "incoming" subjob outranks the resident one.  The
+     dependency graph is cyclic ("logical loop"). *)
+  System.make_exn
+    ~schedulers:[| Sched.Spp; Sched.Spp |]
+    ~jobs:
+      [|
+        job "T1"
+          (Arrival.Periodic { period = 20; offset = 0 })
+          [
+            { System.proc = 0; exec = 2; prio = 2 };
+            { System.proc = 1; exec = 3; prio = 1 };
+          ];
+        job "T2"
+          (Arrival.Periodic { period = 25; offset = 3 })
+          [
+            { System.proc = 1; exec = 2; prio = 2 };
+            { System.proc = 0; exec = 3; prio = 1 };
+          ];
+      |]
+
+let test_cyclic_detected () =
+  match Rta_core.Deps.compute (cyclic_system ()) with
+  | Rta_core.Deps.Acyclic _ -> Alcotest.fail "expected a cyclic dependency graph"
+  | Rta_core.Deps.Cyclic stuck ->
+      Alcotest.(check bool) "some subjobs stuck" true (List.length stuck > 0)
+
+let test_fixpoint_on_cycle () =
+  (* The paper leaves convergence of the Section 6 iteration open; on
+     mutually-cyclic windows it can creep with unit loop gain.  The
+     implementation must stay sound either way: a Bounded verdict must
+     dominate the simulation, and non-convergence must surface as
+     Unbounded (reject), never as an optimistic bound. *)
+  let system = cyclic_system () in
+  let fp = Rta_core.Fixpoint.analyze ~release_horizon ~horizon system in
+  let sim = Rta_sim.Sim.run ~release_horizon system ~horizon in
+  Array.iteri
+    (fun j v ->
+      match (v, Rta_sim.Sim.worst_response sim j) with
+      | Rta_core.Fixpoint.Bounded b, Some w ->
+          Alcotest.(check bool)
+            (Printf.sprintf "job %d: fixpoint %d >= sim %d" j b w)
+            true (b >= w)
+      | Rta_core.Fixpoint.Bounded _, None | Rta_core.Fixpoint.Unbounded, _ -> ())
+    fp.Rta_core.Fixpoint.per_job;
+  (* The jitter-based S&L iteration is convergent on cyclic SPP systems
+     (interference is counted on the release clock), so it complements the
+     window-based fixpoint there. *)
+  match Rta_baselines.Sunliu.analyze system with
+  | Error e -> Alcotest.fail e
+  | Ok sl ->
+      Array.iteri
+        (fun j v ->
+          match (v, Rta_sim.Sim.worst_response sim j) with
+          | Rta_baselines.Sunliu.Bounded b, Some w ->
+              Alcotest.(check bool)
+                (Printf.sprintf "job %d: S&L %d >= sim %d" j b w)
+                true (b >= w)
+          | Rta_baselines.Sunliu.Bounded _, None -> ()
+          | Rta_baselines.Sunliu.Unbounded, _ ->
+              Alcotest.fail "S&L should converge on this cyclic system")
+        sl.Rta_baselines.Sunliu.per_job
+
+let prop_fixpoint_dominates_sim =
+  let gen = Sg.system_gen ~release_horizon () in
+  qtest ~count:60 "fixpoint bounds dominate simulation (acyclic systems too)"
+    gen Sg.print_system (fun system ->
+      let fp = Rta_core.Fixpoint.analyze ~release_horizon ~horizon system in
+      let sim = Rta_sim.Sim.run ~release_horizon system ~horizon in
+      let ok = ref true in
+      Array.iteri
+        (fun j v ->
+          match (v, Rta_sim.Sim.worst_response sim j) with
+          | Rta_core.Fixpoint.Bounded b, Some w -> if b < w then ok := false
+          | Rta_core.Fixpoint.Bounded _, None | Rta_core.Fixpoint.Unbounded, _ -> ())
+        fp.Rta_core.Fixpoint.per_job;
+      !ok)
+
+let test_analysis_facade () =
+  (* Method dispatch: all-SPP acyclic -> Exact; SPNP -> Approximate;
+     cyclic -> Fixpoint. *)
+  let spp =
+    one_proc_system
+      [ job "A" (Arrival.Periodic { period = 10; offset = 0 })
+          [ { System.proc = 0; exec = 3; prio = 1 } ] ]
+  in
+  let r = Rta_core.Analysis.run ~release_horizon ~horizon spp in
+  Alcotest.(check bool) "exact" true (r.Rta_core.Analysis.method_used = `Exact);
+  Alcotest.(check bool) "schedulable" true r.Rta_core.Analysis.schedulable;
+  let spnp =
+    one_proc_system ~sched:Sched.Spnp
+      [ job "A" (Arrival.Periodic { period = 10; offset = 0 })
+          [ { System.proc = 0; exec = 3; prio = 1 } ] ]
+  in
+  let r2 = Rta_core.Analysis.run ~release_horizon ~horizon spnp in
+  Alcotest.(check bool) "approx" true
+    (r2.Rta_core.Analysis.method_used = `Approximate);
+  let r3 = Rta_core.Analysis.run ~release_horizon ~horizon (cyclic_system ()) in
+  Alcotest.(check bool) "fixpoint" true
+    (r3.Rta_core.Analysis.method_used = `Fixpoint)
+
+let test_empty_trace_job () =
+  (* A job that never releases: trivially schedulable, response 0. *)
+  let s =
+    one_proc_system
+      [
+        job "ghost" (Arrival.Trace [||]) [ { System.proc = 0; exec = 5; prio = 1 } ];
+        job "real" (Arrival.Periodic { period = 10; offset = 0 })
+          [ { System.proc = 0; exec = 3; prio = 2 } ];
+      ]
+  in
+  let e = analyze s in
+  (match Rta_core.Response.end_to_end e ~estimator:`Exact ~job:0 with
+  | Rta_core.Response.Bounded r -> check_int "ghost response" 0 r
+  | Rta_core.Response.Unbounded -> Alcotest.fail "ghost unbounded");
+  check_int "no instances" 0 (Rta_core.Response.instance_count e ~job:0);
+  (* The ghost contributes no interference: the real job is alone. *)
+  match Rta_core.Response.end_to_end e ~estimator:`Exact ~job:1 with
+  | Rta_core.Response.Bounded r -> check_int "real response" 3 r
+  | Rta_core.Response.Unbounded -> Alcotest.fail "real unbounded"
+
+let test_deadline_exactly_met () =
+  let s =
+    one_proc_system
+      [ job ~deadline:3 "A" (Arrival.Periodic { period = 10; offset = 0 })
+          [ { System.proc = 0; exec = 3; prio = 1 } ] ]
+  in
+  let e = analyze s in
+  Alcotest.(check bool) "exactly met is schedulable" true
+    (Rta_core.Response.schedulable e ~estimator:`Exact);
+  let tight =
+    one_proc_system
+      [ job ~deadline:2 "A" (Arrival.Periodic { period = 10; offset = 0 })
+          [ { System.proc = 0; exec = 3; prio = 1 } ] ]
+  in
+  let e2 = analyze tight in
+  Alcotest.(check bool) "one tick over misses" false
+    (Rta_core.Response.schedulable e2 ~estimator:`Exact)
+
+let test_horizon_edge_unbounded () =
+  (* An instance released at the very end of the release horizon whose
+     departure falls past the analysis horizon must yield Unbounded, never
+     a wrong bound. *)
+  let s =
+    one_proc_system
+      [ job "A" (Arrival.Trace [| release_horizon |])
+          [ { System.proc = 0; exec = horizon; prio = 1 } ] ]
+  in
+  let e = analyze s in
+  match Rta_core.Response.end_to_end e ~estimator:`Exact ~job:0 with
+  | Rta_core.Response.Unbounded -> ()
+  | Rta_core.Response.Bounded r -> Alcotest.failf "expected unbounded, got %d" r
+
+let prop_sum_equals_direct_single_stage =
+  let gen =
+    Sg.system_gen ~sched_gen:(QCheck2.Gen.oneofl [ Sched.Spnp; Sched.Fcfs ])
+      ~release_horizon ()
+  in
+  qtest ~count:100 "on single-stage jobs, Thm 4 sum = direct" gen
+    Sg.print_system (fun system ->
+      let e = analyze system in
+      let ok = ref true in
+      for j = 0 to System.job_count system - 1 do
+        if Array.length (System.job system j).System.steps = 1 then
+          match
+            ( Rta_core.Response.end_to_end e ~estimator:`Direct ~job:j,
+              Rta_core.Response.end_to_end e ~estimator:`Sum ~job:j )
+          with
+          | Rta_core.Response.Bounded a, Rta_core.Response.Bounded b ->
+              if a <> b then ok := false
+          | Rta_core.Response.Unbounded, Rta_core.Response.Unbounded -> ()
+          | _ -> ok := false
+      done;
+      !ok)
+
+let prop_per_instance_matches_sim =
+  let gen = Sg.system_gen ~sched_gen:(QCheck2.Gen.return Sched.Spp) ~release_horizon () in
+  qtest ~count:100 "per-instance responses match simulation exactly (SPP)" gen
+    Sg.print_system (fun system ->
+      let e = analyze system in
+      let sim = Rta_sim.Sim.run ~release_horizon system ~horizon in
+      let ok = ref true in
+      for j = 0 to System.job_count system - 1 do
+        let simulated = Rta_sim.Sim.response_times sim j in
+        List.iter
+          (fun (m, v) ->
+            match (v, List.assoc_opt m simulated) with
+            | Rta_core.Response.Bounded r, Some w -> if r <> w then ok := false
+            | Rta_core.Response.Bounded _, None ->
+                (* Analysis found a departure the simulation did not
+                   complete within the horizon: impossible when exact. *)
+                ok := false
+            | Rta_core.Response.Unbounded, Some _ -> ok := false
+            | Rta_core.Response.Unbounded, None -> ())
+          (Rta_core.Response.per_instance e ~job:j)
+      done;
+      !ok)
+
+let prop_time_scaling_invariance =
+  (* Scaling every time quantity (periods, offsets, executions, deadlines)
+     by an integer factor scales every exact response by exactly that
+     factor — a strong structural invariant of the integer analysis. *)
+  let gen = Sg.system_gen ~sched_gen:(QCheck2.Gen.return Sched.Spp) ~release_horizon () in
+  qtest ~count:80 "integer time scaling scales exact responses" gen
+    Sg.print_system (fun system ->
+      let k = 3 in
+      let scale_arrival = function
+        | Arrival.Periodic { period; offset } ->
+            Arrival.Periodic { period = k * period; offset = k * offset }
+        | Arrival.Bursty _ as bursty ->
+            (* Eq. 27's shape carries an intrinsic time unit (the "1" under
+               the square root), so the pattern itself does not scale;
+               scale its expanded trace instead. *)
+            Arrival.Trace
+              (Array.map
+                 (fun t -> k * t)
+                 (Arrival.release_times bursty ~horizon:release_horizon))
+        | Arrival.Burst_periodic { burst; period; offset } ->
+            Arrival.Burst_periodic { burst; period = k * period; offset = k * offset }
+        | Arrival.Sporadic_worst { min_gap; count } ->
+            Arrival.Sporadic_worst { min_gap = k * min_gap; count }
+        | Arrival.Trace times -> Arrival.Trace (Array.map (fun t -> k * t) times)
+      in
+      let jobs =
+        Array.init (System.job_count system) (fun j ->
+            let job = System.job system j in
+            {
+              job with
+              System.arrival = scale_arrival job.System.arrival;
+              deadline = k * job.System.deadline;
+              steps =
+                Array.map
+                  (fun (s : System.step) -> { s with System.exec = k * s.System.exec })
+                  job.System.steps;
+            })
+      in
+      let schedulers =
+        Array.init (System.processor_count system) (System.scheduler_of system)
+      in
+      let scaled = System.make_exn ~schedulers ~jobs in
+      match
+        ( Rta_core.Engine.run ~release_horizon ~horizon system,
+          Rta_core.Engine.run ~release_horizon:(k * release_horizon)
+            ~horizon:(k * horizon) scaled )
+      with
+      | Ok e1, Ok e2 ->
+          let ok = ref true in
+          for j = 0 to System.job_count system - 1 do
+            match
+              ( Rta_core.Response.end_to_end e1 ~estimator:`Exact ~job:j,
+                Rta_core.Response.end_to_end e2 ~estimator:`Exact ~job:j )
+            with
+            | Rta_core.Response.Bounded a, Rta_core.Response.Bounded b ->
+                if b <> k * a then ok := false
+            | Rta_core.Response.Unbounded, Rta_core.Response.Unbounded -> ()
+            | _ -> ok := false
+          done;
+          !ok
+      | _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Shared-resource blocking extension                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_extra_blocking () =
+  (* A single SPP job alone on its processor with a 4-tick resource
+     blocking term: the analysis must leave the exact path and report at
+     least exec + blocking. *)
+  let s =
+    one_proc_system
+      [ job "A" (Arrival.Periodic { period = 20; offset = 0 })
+          [ { System.proc = 0; exec = 3; prio = 1 } ] ]
+  in
+  let run extra =
+    match
+      Rta_core.Engine.run ~extra_blocking:(fun _ -> extra) ~release_horizon
+        ~horizon s
+    with
+    | Ok e -> e
+    | Error (`Cyclic _) -> Alcotest.fail "cyclic"
+  in
+  let without = run 0 and with_blocking = run 4 in
+  Alcotest.(check bool) "no blocking stays exact" true
+    (Rta_core.Engine.is_exact without);
+  Alcotest.(check bool) "blocking forces bounds" false
+    (Rta_core.Engine.is_exact with_blocking);
+  (match Rta_core.Response.end_to_end with_blocking ~estimator:`Direct ~job:0 with
+  | Rta_core.Response.Bounded r ->
+      Alcotest.(check bool) (Printf.sprintf "bound %d >= 7" r) true (r >= 7)
+  | Rta_core.Response.Unbounded -> Alcotest.fail "unbounded");
+  match Rta_core.Response.end_to_end without ~estimator:`Exact ~job:0 with
+  | Rta_core.Response.Bounded r -> check_int "exact without" 3 r
+  | Rta_core.Response.Unbounded -> Alcotest.fail "unbounded"
+
+(* ------------------------------------------------------------------ *)
+(* Envelope analysis (horizon-free extension)                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_envelope_single_source () =
+  (* One periodic source alone: response = tau. *)
+  let sources =
+    [
+      {
+        Rta_core.Envelope_analysis.name = "A";
+        envelope = Rta_curve.Envelope.periodic ~period:10 ();
+        tau = 3;
+        prio = 1;
+      };
+    ]
+  in
+  match Rta_core.Envelope_analysis.response_bound ~sched:Sched.Spp ~sources 0 with
+  | Rta_core.Envelope_analysis.Bounded r -> check_int "alone" 3 r
+  | Rta_core.Envelope_analysis.Unbounded -> Alcotest.fail "unbounded"
+
+let test_envelope_classic_pair () =
+  (* The Liu&Layland pair from the baseline tests: H (5,2), L (10,4):
+     envelope bound for L must equal the classic response 8 (critical
+     instant = the envelope's worst trace). *)
+  let sources =
+    [
+      {
+        Rta_core.Envelope_analysis.name = "H";
+        envelope = Rta_curve.Envelope.periodic ~period:5 ();
+        tau = 2;
+        prio = 1;
+      };
+      {
+        Rta_core.Envelope_analysis.name = "L";
+        envelope = Rta_curve.Envelope.periodic ~period:10 ();
+        tau = 4;
+        prio = 2;
+      };
+    ]
+  in
+  (match Rta_core.Envelope_analysis.response_bound ~sched:Sched.Spp ~sources 1 with
+  | Rta_core.Envelope_analysis.Bounded r -> check_int "L" 8 r
+  | Rta_core.Envelope_analysis.Unbounded -> Alcotest.fail "unbounded L");
+  match Rta_core.Envelope_analysis.response_bound ~sched:Sched.Spp ~sources 0 with
+  | Rta_core.Envelope_analysis.Bounded r -> check_int "H" 2 r
+  | Rta_core.Envelope_analysis.Unbounded -> Alcotest.fail "unbounded H"
+
+let test_envelope_overload_unbounded () =
+  let source tau prio =
+    {
+      Rta_core.Envelope_analysis.name = "x";
+      envelope = Rta_curve.Envelope.periodic ~period:10 ();
+      tau;
+      prio;
+    }
+  in
+  match
+    Rta_core.Envelope_analysis.response_bound ~sched:Sched.Spp
+      ~sources:[ source 6 1; source 6 2 ] 1
+  with
+  | Rta_core.Envelope_analysis.Unbounded -> ()
+  | Rta_core.Envelope_analysis.Bounded _ -> Alcotest.fail "overload must be unbounded"
+
+let prop_envelope_dominates_trace_analysis =
+  (* On synchronous periodic single-processor systems the envelope bound
+     must dominate the exact trace analysis (the envelope's critical
+     instant IS the synchronous release) — and the simulator. *)
+  let gen =
+    let open QCheck2.Gen in
+    let* n = int_range 1 4 in
+    let* specs =
+      list_repeat n
+        (let* period = int_range 6 30 in
+         let* tau = int_range 1 4 in
+         return (period, tau))
+    in
+    let* sched = oneofl [ Sched.Spp; Sched.Spnp; Sched.Fcfs ] in
+    return (specs, sched)
+  in
+  qtest ~count:100 "envelope bounds dominate trace analysis and simulation" gen
+    (fun (specs, sched) ->
+      Printf.sprintf "%s %s"
+        (Sched.to_string sched)
+        (String.concat ";" (List.map (fun (p, t) -> Printf.sprintf "(%d,%d)" p t) specs)))
+    (fun (specs, sched) ->
+      let total_rate =
+        List.fold_left (fun acc (p, t) -> acc +. (float_of_int t /. float_of_int p)) 0. specs
+      in
+      if total_rate >= 0.95 then true
+      else begin
+        let sources =
+          List.mapi
+            (fun i (period, tau) ->
+              {
+                Rta_core.Envelope_analysis.name = Printf.sprintf "T%d" i;
+                envelope = Rta_curve.Envelope.periodic ~period ();
+                tau;
+                prio = i + 1;
+              })
+            specs
+        in
+        let jobs =
+          List.mapi
+            (fun i (period, tau) ->
+              {
+                System.name = Printf.sprintf "T%d" i;
+                arrival = Arrival.Periodic { period; offset = 0 };
+                deadline = 100000;
+                steps = [| { System.proc = 0; exec = tau; prio = i + 1 } |];
+              })
+            specs
+          |> Array.of_list
+        in
+        let system = System.make_exn ~schedulers:[| sched |] ~jobs in
+        let sim = Rta_sim.Sim.run ~release_horizon system ~horizon in
+        let bounds = Rta_core.Envelope_analysis.all_bounds ~sched ~sources in
+        let ok = ref true in
+        Array.iteri
+          (fun i v ->
+            match (v, Rta_sim.Sim.worst_response sim i) with
+            | Rta_core.Envelope_analysis.Bounded b, Some w -> if b < w then ok := false
+            | Rta_core.Envelope_analysis.Bounded _, None
+            | Rta_core.Envelope_analysis.Unbounded, _ ->
+                ())
+          bounds;
+        !ok
+      end)
+
+(* ------------------------------------------------------------------ *)
+(* Pipeline envelope analysis                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_pipeline_single_stage_consistency () =
+  (* A one-stage pipeline must agree with the single-processor bound. *)
+  let sources =
+    [
+      {
+        Rta_core.Envelope_analysis.p_name = "A";
+        p_envelope = Rta_curve.Envelope.periodic ~period:10 ();
+        taus = [| 3 |];
+        p_prio = 1;
+      };
+      {
+        Rta_core.Envelope_analysis.p_name = "B";
+        p_envelope = Rta_curve.Envelope.periodic ~period:15 ();
+        taus = [| 4 |];
+        p_prio = 2;
+      };
+    ]
+  in
+  let flat =
+    List.map
+      (fun s ->
+        {
+          Rta_core.Envelope_analysis.name = s.Rta_core.Envelope_analysis.p_name;
+          envelope = s.Rta_core.Envelope_analysis.p_envelope;
+          tau = s.Rta_core.Envelope_analysis.taus.(0);
+          prio = s.Rta_core.Envelope_analysis.p_prio;
+        })
+      sources
+  in
+  let pipe =
+    Rta_core.Envelope_analysis.pipeline_bounds ~scheds:[| Sched.Spp |] ~sources
+  in
+  Array.iteri
+    (fun i v ->
+      let single =
+        Rta_core.Envelope_analysis.response_bound ~sched:Sched.Spp ~sources:flat i
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "source %d consistent" i)
+        true
+        (match (v, single) with
+        | Rta_core.Envelope_analysis.Bounded a, Rta_core.Envelope_analysis.Bounded b
+          ->
+            a = b
+        | Rta_core.Envelope_analysis.Unbounded, Rta_core.Envelope_analysis.Unbounded
+          ->
+            true
+        | _ -> false))
+    pipe.Rta_core.Envelope_analysis.end_to_end
+
+let test_pipeline_dominates_trace () =
+  (* Two-stage periodic pipeline: the envelope bound must dominate the
+     exact trace analysis on the synchronous instantiation. *)
+  let specs = [ (12, 2, 3); (18, 3, 2) ] in
+  let sources =
+    List.mapi
+      (fun i (period, t1, t2) ->
+        {
+          Rta_core.Envelope_analysis.p_name = Printf.sprintf "T%d" i;
+          p_envelope = Rta_curve.Envelope.periodic ~period ();
+          taus = [| t1; t2 |];
+          p_prio = i + 1;
+        })
+      specs
+  in
+  let pipe =
+    Rta_core.Envelope_analysis.pipeline_bounds
+      ~scheds:[| Sched.Spp; Sched.Spp |]
+      ~sources
+  in
+  let jobs =
+    List.mapi
+      (fun i (period, t1, t2) ->
+        {
+          System.name = Printf.sprintf "T%d" i;
+          arrival = Arrival.Periodic { period; offset = 0 };
+          deadline = 100000;
+          steps =
+            [|
+              { System.proc = 0; exec = t1; prio = i + 1 };
+              { System.proc = 1; exec = t2; prio = i + 1 };
+            |];
+        })
+      specs
+    |> Array.of_list
+  in
+  let system = System.make_exn ~schedulers:[| Sched.Spp; Sched.Spp |] ~jobs in
+  let e = analyze system in
+  Array.iteri
+    (fun i v ->
+      match (v, Rta_core.Response.end_to_end e ~estimator:`Exact ~job:i) with
+      | Rta_core.Envelope_analysis.Bounded b, Rta_core.Response.Bounded r ->
+          Alcotest.(check bool)
+            (Printf.sprintf "source %d: envelope %d >= exact %d" i b r)
+            true (b >= r)
+      | Rta_core.Envelope_analysis.Unbounded, _ -> ()
+      | _, Rta_core.Response.Unbounded -> ())
+    pipe.Rta_core.Envelope_analysis.end_to_end
+
+(* ------------------------------------------------------------------ *)
+(* Priority search                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_priority_search_beats_dm () =
+  (* The OPA-style example, driven through the distributed engine: T1
+     (rho 10, tau 5), T2 (rho 14, tau 6), both deadlines 14.  With T1 on
+     top (as given) T2 misses; swapping admits both. *)
+  let s =
+    one_proc_system
+      [
+        job ~deadline:14 "T1" (Arrival.Periodic { period = 10; offset = 0 })
+          [ { System.proc = 0; exec = 5; prio = 1 } ];
+        job ~deadline:14 "T2" (Arrival.Periodic { period = 14; offset = 0 })
+          [ { System.proc = 0; exec = 6; prio = 2 } ];
+      ]
+  in
+  let r = Rta_core.Analysis.run ~release_horizon ~horizon s in
+  Alcotest.(check bool) "as given misses" false r.Rta_core.Analysis.schedulable;
+  match Rta_core.Priority_search.search ~release_horizon ~horizon s with
+  | Rta_core.Priority_search.Schedulable fixed ->
+      check_int "T2 promoted" 1 (System.job fixed 1).System.steps.(0).System.prio;
+      Alcotest.(check bool) "admitted" true
+        (Rta_core.Analysis.run ~release_horizon ~horizon fixed)
+          .Rta_core.Analysis.schedulable
+  | Rta_core.Priority_search.No_assignment_found _ ->
+      Alcotest.fail "search should find the swap"
+
+let test_priority_search_infeasible () =
+  let s =
+    one_proc_system
+      [
+        job ~deadline:8 "A" (Arrival.Periodic { period = 10; offset = 0 })
+          [ { System.proc = 0; exec = 6; prio = 1 } ];
+        job ~deadline:8 "B" (Arrival.Periodic { period = 10; offset = 0 })
+          [ { System.proc = 0; exec = 6; prio = 2 } ];
+      ]
+  in
+  match Rta_core.Priority_search.search ~release_horizon ~horizon s with
+  | Rta_core.Priority_search.Schedulable _ -> Alcotest.fail "overload admitted"
+  | Rta_core.Priority_search.No_assignment_found { exhaustive; tried } ->
+      Alcotest.(check bool) "exhaustive" true exhaustive;
+      Alcotest.(check bool) "tried both orders" true (tried >= 2)
+
+(* ------------------------------------------------------------------ *)
+(* Sensitivity                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_sensitivity_scaling () =
+  let s =
+    one_proc_system
+      [ job ~deadline:10 "A" (Arrival.Periodic { period = 10; offset = 0 })
+          [ { System.proc = 0; exec = 2; prio = 1 } ] ]
+  in
+  match
+    Rta_core.Sensitivity.critical_scaling ~upper_limit:10.0 ~release_horizon
+      ~horizon s
+  with
+  | Some lambda ->
+      (* ceil(2 * lambda) <= 10 iff lambda <= 5. *)
+      Alcotest.(check bool)
+        (Printf.sprintf "lambda %.3f near 5" lambda)
+        true
+        (lambda > 4.9 && lambda <= 5.0)
+  | None -> Alcotest.fail "expected a feasible scaling"
+
+let test_sensitivity_infeasible () =
+  (* Two-stage chain with a 1-tick deadline: no budget helps. *)
+  let s =
+    System.make_exn
+      ~schedulers:[| Sched.Spp; Sched.Spp |]
+      ~jobs:
+        [|
+          job ~deadline:1 "A" (Arrival.Periodic { period = 10; offset = 0 })
+            [
+              { System.proc = 0; exec = 5; prio = 1 };
+              { System.proc = 1; exec = 5; prio = 1 };
+            ];
+        |]
+  in
+  Alcotest.(check bool) "infeasible" true
+    (Rta_core.Sensitivity.critical_scaling ~release_horizon ~horizon s = None)
+
+let test_sensitivity_scale_executions () =
+  let s =
+    one_proc_system
+      [ job "A" (Arrival.Periodic { period = 10; offset = 0 })
+          [ { System.proc = 0; exec = 3; prio = 1 } ] ]
+  in
+  let scaled = Rta_core.Sensitivity.scale_executions s 2.5 in
+  check_int "ceil scaling" 8 (System.job scaled 0).System.steps.(0).System.exec;
+  let tiny = Rta_core.Sensitivity.scale_executions s 0.0001 in
+  check_int "min one tick" 1 (System.job tiny 0).System.steps.(0).System.exec
+
+let () =
+  Alcotest.run "rta_core"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "single task" `Quick test_single_task;
+          Alcotest.test_case "two tasks, preemption" `Quick test_two_tasks_preemption;
+          Alcotest.test_case "SPNP blocking" `Quick test_spnp_blocking;
+          Alcotest.test_case "two-stage pipeline" `Quick test_two_stage_pipeline;
+          Alcotest.test_case "FCFS two jobs" `Quick test_fcfs_two_jobs;
+        ] );
+      ( "sim",
+        [
+          Alcotest.test_case "work conserving" `Quick test_sim_work_conserving;
+          Alcotest.test_case "preemption trace" `Quick test_sim_preemption_trace;
+        ] );
+      ( "vs-sim",
+        [
+          prop_spp_exact_matches_sim;
+          prop_spnp_bounds;
+          prop_fcfs_bounds;
+          prop_mixed_bounds;
+          prop_fcfs_tie_free_exact;
+          prop_sum_dominates_direct;
+        ] );
+      ( "fixpoint",
+        [
+          Alcotest.test_case "cycle detected" `Quick test_cyclic_detected;
+          Alcotest.test_case "fixpoint on cycle vs sim" `Quick test_fixpoint_on_cycle;
+          prop_fixpoint_dominates_sim;
+          Alcotest.test_case "facade dispatch" `Quick test_analysis_facade;
+        ] );
+      ( "edge-cases",
+        [
+          Alcotest.test_case "empty trace job" `Quick test_empty_trace_job;
+          Alcotest.test_case "deadline exactly met" `Quick test_deadline_exactly_met;
+          Alcotest.test_case "horizon edge" `Quick test_horizon_edge_unbounded;
+          prop_sum_equals_direct_single_stage;
+        ] );
+      ( "invariants",
+        [ prop_per_instance_matches_sim; prop_time_scaling_invariance ] );
+      ( "resources",
+        [ Alcotest.test_case "extra blocking" `Quick test_extra_blocking ] );
+      ( "envelope-analysis",
+        [
+          Alcotest.test_case "single source" `Quick test_envelope_single_source;
+          Alcotest.test_case "classic pair" `Quick test_envelope_classic_pair;
+          Alcotest.test_case "overload unbounded" `Quick test_envelope_overload_unbounded;
+          prop_envelope_dominates_trace_analysis;
+          Alcotest.test_case "pipeline: single-stage consistency" `Quick
+            test_pipeline_single_stage_consistency;
+          Alcotest.test_case "pipeline dominates trace" `Quick
+            test_pipeline_dominates_trace;
+        ] );
+      ( "priority-search",
+        [
+          Alcotest.test_case "finds non-DM assignment" `Quick
+            test_priority_search_beats_dm;
+          Alcotest.test_case "exhaustive negative" `Quick
+            test_priority_search_infeasible;
+        ] );
+      ( "sensitivity",
+        [
+          Alcotest.test_case "critical scaling" `Quick test_sensitivity_scaling;
+          Alcotest.test_case "infeasible" `Quick test_sensitivity_infeasible;
+          Alcotest.test_case "scale_executions" `Quick test_sensitivity_scale_executions;
+        ] );
+    ]

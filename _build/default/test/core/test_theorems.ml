@@ -1,0 +1,285 @@
+(* Theorem-by-theorem validation on hand-computed scenarios.  Each case
+   pins the implementation of one numbered result of the paper to values
+   derived by hand (or against the simulator where the theorem claims
+   exactness). *)
+
+open Rta_model
+module Step = Rta_curve.Step
+module Pl = Rta_curve.Pl
+module Minplus = Rta_curve.Minplus
+
+let check_int = Alcotest.(check int)
+let horizon = 200
+let release_horizon = 100
+
+let engine system =
+  match Rta_core.Engine.run ~release_horizon ~horizon system with
+  | Ok e -> e
+  | Error (`Cyclic _) -> Alcotest.fail "unexpected cycle"
+
+let entry e j st = Rta_core.Engine.entry e { System.job = j; step = st }
+
+let system ~scheds jobs =
+  System.make_exn ~schedulers:(Array.of_list scheds) ~jobs:(Array.of_list jobs)
+
+let job ?(deadline = 10000) name arrival steps =
+  { System.name; arrival; deadline; steps = Array.of_list steps }
+
+(* -------------------------------------------------------------------- *)
+(* Theorem 2: f_dep = floor (S / tau)                                    *)
+(* -------------------------------------------------------------------- *)
+
+let test_theorem2 () =
+  (* Hand-built service: ramps 0->9 over [0,9], plateaus; tau = 3:
+     departures at 3, 6, 9. *)
+  let s = Pl.truncate_at Pl.identity 9 in
+  let dep = Pl.to_step_floor_div s 3 in
+  List.iter
+    (fun (t, expect) -> check_int (Printf.sprintf "dep(%d)" t) expect (Step.eval dep t))
+    [ (0, 0); (2, 0); (3, 1); (5, 1); (6, 2); (9, 3); (100, 3) ]
+
+(* -------------------------------------------------------------------- *)
+(* Theorem 3: exact SPP service function                                 *)
+(* -------------------------------------------------------------------- *)
+
+let test_theorem3_two_jobs () =
+  (* H: tau 3 at t = 0 and 10; L: tau 4 at t = 0.  On one processor:
+     H runs [0,3] and [10,13]; L runs [3,7].
+     S_L hand-derived: 0 until 3, ramps to 4 at 7, flat. *)
+  let sys =
+    system ~scheds:[ Sched.Spp ]
+      [
+        job "H" (Arrival.Trace [| 0; 10 |]) [ { System.proc = 0; exec = 3; prio = 1 } ];
+        job "L" (Arrival.Trace [| 0 |]) [ { System.proc = 0; exec = 4; prio = 2 } ];
+      ]
+  in
+  let e = engine sys in
+  let svc_l = (entry e 1 0).Rta_core.Engine.svc_lo in
+  List.iter
+    (fun (t, expect) ->
+      check_int (Printf.sprintf "S_L(%d)" t) expect (Pl.eval svc_l t))
+    [ (0, 0); (3, 0); (5, 2); (7, 4); (9, 4); (50, 4) ];
+  (* And H's service is the availability identity minus idle: ramps 0-3,
+     flat, ramps 10-13. *)
+  let svc_h = (entry e 0 0).Rta_core.Engine.svc_lo in
+  List.iter
+    (fun (t, expect) ->
+      check_int (Printf.sprintf "S_H(%d)" t) expect (Pl.eval svc_h t))
+    [ (0, 0); (2, 2); (3, 3); (10, 3); (12, 5); (13, 6); (50, 6) ]
+
+(* -------------------------------------------------------------------- *)
+(* Lemma 2 / Direct Synchronization: arrivals downstream = departures    *)
+(* -------------------------------------------------------------------- *)
+
+let test_chain_arrival_is_departure () =
+  let sys =
+    system ~scheds:[ Sched.Spp; Sched.Spnp ]
+      [
+        job "A" (Arrival.Periodic { period = 10; offset = 0 })
+          [
+            { System.proc = 0; exec = 2; prio = 1 };
+            { System.proc = 1; exec = 3; prio = 1 };
+          ];
+      ]
+  in
+  let e = engine sys in
+  Alcotest.(check bool) "arr_lo chain" true
+    (Step.equal (entry e 0 1).Rta_core.Engine.arr_lo
+       (entry e 0 0).Rta_core.Engine.dep_lo);
+  Alcotest.(check bool) "arr_hi chain" true
+    (Step.equal (entry e 0 1).Rta_core.Engine.arr_hi
+       (entry e 0 0).Rta_core.Engine.dep_hi)
+
+(* -------------------------------------------------------------------- *)
+(* Eq. 15 + Theorem 5 role: SPNP blocking shows up in the bound          *)
+(* -------------------------------------------------------------------- *)
+
+let test_spnp_blocking_in_bound () =
+  (* hp job (tau 2) can be blocked by the lp job (tau 9): its guaranteed
+     departure must not precede b + tau = 11 even though it arrives at 0
+     and the lp job arrives later (the bound covers the worst phasing). *)
+  let sys =
+    system ~scheds:[ Sched.Spnp ]
+      [
+        job "hp" (Arrival.Trace [| 0 |]) [ { System.proc = 0; exec = 2; prio = 1 } ];
+        job "lp" (Arrival.Trace [| 50 |]) [ { System.proc = 0; exec = 9; prio = 2 } ];
+      ]
+  in
+  let e = engine sys in
+  match Step.inverse (entry e 0 0).Rta_core.Engine.dep_lo 1 with
+  | Some t ->
+      Alcotest.(check bool)
+        (Printf.sprintf "guaranteed departure %d >= 11" t)
+        true (t >= 11)
+  | None -> Alcotest.fail "hp instance unbounded"
+
+(* -------------------------------------------------------------------- *)
+(* Theorem 7: FCFS utilization function                                  *)
+(* -------------------------------------------------------------------- *)
+
+let test_theorem7_utilization () =
+  (* Workload 3 at t=2 and 2 at t=6 on an FCFS processor:
+     U = 0 until 2, ramps to 3 at 5, flat to 6, ramps to 5 at 8. *)
+  let g =
+    Step.add
+      (Step.scale (Step.of_arrival_times [| 2 |]) 3)
+      (Step.scale (Step.of_arrival_times [| 6 |]) 2)
+  in
+  let u = Minplus.transform ~mode:`Left ~avail:Pl.identity ~work:g in
+  List.iter
+    (fun (t, expect) -> check_int (Printf.sprintf "U(%d)" t) expect (Pl.eval u t))
+    [ (0, 0); (2, 0); (4, 2); (5, 3); (6, 3); (8, 5); (20, 5) ];
+  (* Against the simulator's busy curve on the equivalent system. *)
+  let sys =
+    system ~scheds:[ Sched.Fcfs ]
+      [
+        job "a" (Arrival.Trace [| 2 |]) [ { System.proc = 0; exec = 3; prio = 1 } ];
+        job "b" (Arrival.Trace [| 6 |]) [ { System.proc = 0; exec = 2; prio = 1 } ];
+      ]
+  in
+  let sim = Rta_sim.Sim.run ~release_horizon sys ~horizon in
+  for t = 0 to 20 do
+    check_int
+      (Printf.sprintf "U = sim busy at %d" t)
+      (Pl.eval sim.Rta_sim.Sim.busy.(0) t)
+      (Pl.eval u t)
+  done
+
+(* -------------------------------------------------------------------- *)
+(* Theorems 8-9: FCFS departure bounds, hand case                        *)
+(* -------------------------------------------------------------------- *)
+
+let test_theorems8_9_fcfs () =
+  (* a (tau 4) at 0, b (tau 3) at 0 — simultaneous, tie order unknown to
+     the analysis.  dep_lo must place each completion after BOTH could
+     have run (7); dep_hi can let each finish first (4 resp. 3). *)
+  let sys =
+    system ~scheds:[ Sched.Fcfs ]
+      [
+        job "a" (Arrival.Trace [| 0 |]) [ { System.proc = 0; exec = 4; prio = 1 } ];
+        job "b" (Arrival.Trace [| 0 |]) [ { System.proc = 0; exec = 3; prio = 1 } ];
+      ]
+  in
+  let e = engine sys in
+  let dep_time which j = Step.inverse (entry e j 0).Rta_core.Engine.dep_lo 1 |> which in
+  check_int "a guaranteed by 7" 7 (Option.get (dep_time Fun.id 0));
+  check_int "b guaranteed by 7" 7 (Option.get (dep_time Fun.id 1));
+  check_int "a possibly at 4"
+    4
+    (Option.get (Step.inverse (entry e 0 0).Rta_core.Engine.dep_hi 1));
+  check_int "b possibly at 3" 3
+    (Option.get (Step.inverse (entry e 1 0).Rta_core.Engine.dep_hi 1))
+
+(* -------------------------------------------------------------------- *)
+(* Theorem 1: per-instance responses                                     *)
+(* -------------------------------------------------------------------- *)
+
+let test_theorem1_per_instance () =
+  (* L (tau 4, releases 0 and 8) under H (tau 2 at 10):
+     instance 1: [0,4] -> 4; instance 2: arrives 8, runs [8,10] and
+     [12,14] -> 6. *)
+  let sys =
+    system ~scheds:[ Sched.Spp ]
+      [
+        job "H" (Arrival.Trace [| 10 |]) [ { System.proc = 0; exec = 2; prio = 1 } ];
+        job "L" (Arrival.Trace [| 0; 8 |]) [ { System.proc = 0; exec = 4; prio = 2 } ];
+      ]
+  in
+  let e = engine sys in
+  match Rta_core.Response.per_instance e ~job:1 with
+  | [ (1, Rta_core.Response.Bounded r1); (2, Rta_core.Response.Bounded r2) ] ->
+      check_int "instance 1" 4 r1;
+      check_int "instance 2" 6 r2
+  | _ -> Alcotest.fail "expected two bounded instances"
+
+(* -------------------------------------------------------------------- *)
+(* Theorem 4: the per-stage sum really is the sum                        *)
+(* -------------------------------------------------------------------- *)
+
+let test_theorem4_sum () =
+  let sys =
+    system ~scheds:[ Sched.Spnp; Sched.Spnp ]
+      [
+        job "A" (Arrival.Periodic { period = 20; offset = 0 })
+          [
+            { System.proc = 0; exec = 2; prio = 1 };
+            { System.proc = 1; exec = 3; prio = 1 };
+          ];
+      ]
+  in
+  let e = engine sys in
+  let stage_sum =
+    Rta_core.Response.stage_bounds e ~job:0
+    |> List.fold_left
+         (fun acc v ->
+           match (acc, v) with
+           | Some a, Rta_core.Response.Bounded b -> Some (a + b)
+           | _, Rta_core.Response.Unbounded | None, _ -> None)
+         (Some 0)
+  in
+  match (Rta_core.Response.end_to_end e ~estimator:`Sum ~job:0, stage_sum) with
+  | Rta_core.Response.Bounded total, Some s -> check_int "sum equals stages" s total
+  | _ -> Alcotest.fail "expected bounded"
+
+(* -------------------------------------------------------------------- *)
+(* Curve CSV dump                                                        *)
+(* -------------------------------------------------------------------- *)
+
+let test_entry_csv () =
+  let sys =
+    system ~scheds:[ Sched.Spp ]
+      [ job "A" (Arrival.Trace [| 0; 10 |]) [ { System.proc = 0; exec = 3; prio = 1 } ] ]
+  in
+  let csv = Rta_core.Engine.entry_csv (engine sys) { System.job = 0; step = 0 } in
+  let lines = String.split_on_char '\n' csv |> List.filter (fun l -> l <> "") in
+  Alcotest.(check string) "header" "t,arr_lo,arr_hi,dep_lo,dep_hi" (List.hd lines);
+  (* Change points: 0 (arrival), 3 (departure), 10 (arrival), 13. *)
+  Alcotest.(check (list string)) "records"
+    [ "0,1,1,0,0"; "3,1,1,1,1"; "10,2,2,1,1"; "13,2,2,2,2" ]
+    (List.tl lines)
+
+(* -------------------------------------------------------------------- *)
+(* Completion jitter                                                     *)
+(* -------------------------------------------------------------------- *)
+
+let test_completion_jitter () =
+  (* Exact regime: zero jitter (dep_lo = dep_hi). *)
+  let exact_sys =
+    system ~scheds:[ Sched.Spp ]
+      [ job "A" (Arrival.Periodic { period = 10; offset = 0 })
+          [ { System.proc = 0; exec = 3; prio = 1 } ] ]
+  in
+  (match Rta_core.Response.completion_jitter (engine exact_sys) ~job:0 with
+  | Rta_core.Response.Bounded j -> check_int "exact jitter" 0 j
+  | Rta_core.Response.Unbounded -> Alcotest.fail "unbounded");
+  (* FCFS ties: a's completion is between 4 and 7 -> jitter 3. *)
+  let fcfs_sys =
+    system ~scheds:[ Sched.Fcfs ]
+      [
+        job "a" (Arrival.Trace [| 0 |]) [ { System.proc = 0; exec = 4; prio = 1 } ];
+        job "b" (Arrival.Trace [| 0 |]) [ { System.proc = 0; exec = 3; prio = 1 } ];
+      ]
+  in
+  match Rta_core.Response.completion_jitter (engine fcfs_sys) ~job:0 with
+  | Rta_core.Response.Bounded j -> check_int "FCFS tie jitter" 3 j
+  | Rta_core.Response.Unbounded -> Alcotest.fail "unbounded"
+
+let () =
+  Alcotest.run "rta_theorems"
+    [
+      ( "per-theorem",
+        [
+          Alcotest.test_case "Thm 2: floor division" `Quick test_theorem2;
+          Alcotest.test_case "Thm 3: exact SPP service" `Quick test_theorem3_two_jobs;
+          Alcotest.test_case "Lem 2: chained arrivals" `Quick
+            test_chain_arrival_is_departure;
+          Alcotest.test_case "Eq 15/Thm 5: SPNP blocking" `Quick
+            test_spnp_blocking_in_bound;
+          Alcotest.test_case "Thm 7: utilization" `Quick test_theorem7_utilization;
+          Alcotest.test_case "Thm 8-9: FCFS bounds" `Quick test_theorems8_9_fcfs;
+          Alcotest.test_case "Thm 1: per instance" `Quick test_theorem1_per_instance;
+          Alcotest.test_case "Thm 4: stage sum" `Quick test_theorem4_sum;
+          Alcotest.test_case "completion jitter" `Quick test_completion_jitter;
+          Alcotest.test_case "curve CSV" `Quick test_entry_csv;
+        ] );
+    ]

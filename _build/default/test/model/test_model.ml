@@ -1,0 +1,445 @@
+(* Model layer: time quantization, arrival patterns, system validation,
+   priority assignment, and the textual format round trip. *)
+
+open Rta_model
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ------------------------------------------------------------------ *)
+(* Time                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_time_units () =
+  check_int "1 unit" 1000 (Time.of_units 1.0);
+  check_int "rounding" 1500 (Time.of_units 1.4996);
+  check_int "ceil" 1500 (Time.of_units_ceil 1.4995);
+  check_int "negative clamps" 0 (Time.of_units (-3.0));
+  Alcotest.(check (float 1e-9)) "roundtrip" 2.5 (Time.to_units (Time.of_units 2.5))
+
+let test_isqrt () =
+  check_int "0" 0 (Time.isqrt 0);
+  check_int "1" 1 (Time.isqrt 1);
+  check_int "24" 4 (Time.isqrt 24);
+  check_int "25" 5 (Time.isqrt 25);
+  check_int "26" 5 (Time.isqrt 26);
+  check_int "big" 1000000 (Time.isqrt 1000000000000);
+  Alcotest.check_raises "negative" (Invalid_argument "Time.isqrt: negative input")
+    (fun () -> ignore (Time.isqrt (-1)))
+
+let prop_isqrt =
+  Rta_testsupport.Gen.qtest ~count:500 "isqrt is the floor square root"
+    QCheck2.Gen.(int_range 0 (1 lsl 40))
+    string_of_int
+    (fun n ->
+      let r = Time.isqrt n in
+      r * r <= n && (r + 1) * (r + 1) > n)
+
+(* ------------------------------------------------------------------ *)
+(* Arrival patterns                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_periodic_releases () =
+  let times =
+    Arrival.release_times (Arrival.Periodic { period = 10; offset = 3 }) ~horizon:40
+  in
+  Alcotest.(check (array int)) "releases" [| 3; 13; 23; 33 |] times
+
+let test_bursty_shape () =
+  (* Eq. 27: first release at 0; inter-arrival times increase toward the
+     period from below (the burst relaxes). *)
+  let period = 3 * Time.ticks_per_unit in
+  let times = Arrival.release_times (Arrival.Bursty { period }) ~horizon:(30 * 1000) in
+  check_int "first at 0" 0 times.(0);
+  let gaps =
+    Array.init (Array.length times - 1) (fun i -> times.(i + 1) - times.(i))
+  in
+  check_bool "at least a few releases" true (Array.length times >= 5);
+  Array.iteri
+    (fun i g ->
+      check_bool (Printf.sprintf "gap %d below period" i) true (g <= period);
+      if i > 0 then
+        check_bool (Printf.sprintf "gap %d non-decreasing" i) true (g >= gaps.(i - 1)))
+    gaps
+
+let test_burst_periodic () =
+  let times =
+    Arrival.release_times
+      (Arrival.Burst_periodic { burst = 3; period = 5; offset = 2 })
+      ~horizon:15
+  in
+  Alcotest.(check (array int)) "burst then periodic" [| 2; 2; 2; 7; 12 |] times
+
+let test_sporadic_worst () =
+  let times =
+    Arrival.release_times (Arrival.Sporadic_worst { min_gap = 4; count = 3 }) ~horizon:100
+  in
+  Alcotest.(check (array int)) "packed at min gap" [| 0; 4; 8 |] times
+
+let test_trace_validation () =
+  check_bool "sorted ok" true
+    (Arrival.validate (Arrival.Trace [| 1; 1; 5 |]) = Ok ());
+  check_bool "unsorted rejected" true
+    (Result.is_error (Arrival.validate (Arrival.Trace [| 5; 1 |])));
+  check_bool "negative rejected" true
+    (Result.is_error (Arrival.validate (Arrival.Trace [| -1 |])))
+
+let prop_arrival_function_counts =
+  let pattern_gen =
+    let open QCheck2.Gen in
+    oneof
+      [
+        (let* period = int_range 1 20 in
+         let* offset = int_range 0 10 in
+         return (Arrival.Periodic { period; offset }));
+        (let* period = int_range 500 5000 in
+         return (Arrival.Bursty { period }));
+        (let* burst = int_range 1 4 in
+         let* period = int_range 1 20 in
+         return (Arrival.Burst_periodic { burst; period; offset = 0 }));
+      ]
+  in
+  Rta_testsupport.Gen.qtest ~count:200
+    "arrival_function counts releases at every tick" pattern_gen
+    (Format.asprintf "%a" Arrival.pp)
+    (fun pattern ->
+      let horizon = 200 in
+      let times = Arrival.release_times pattern ~horizon in
+      let f = Arrival.arrival_function pattern ~horizon in
+      let ok = ref true in
+      List.iter
+        (fun t ->
+          let expect =
+            Array.fold_left (fun acc x -> if x <= t then acc + 1 else acc) 0 times
+          in
+          if Rta_curve.Step.eval f t <> expect then ok := false)
+        [ 0; 1; 7; 50; horizon ];
+      !ok)
+
+(* ------------------------------------------------------------------ *)
+(* System validation                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let basic_job ?(prio = 1) ?(proc = 0) ?(exec = 2) name =
+  {
+    System.name;
+    arrival = Arrival.Periodic { period = 10; offset = 0 };
+    deadline = 20;
+    steps = [| { System.proc; exec; prio } |];
+  }
+
+let test_validation_errors () =
+  let reject ~schedulers ~jobs msg =
+    match System.make ~schedulers ~jobs with
+    | Ok _ -> Alcotest.failf "expected rejection: %s" msg
+    | Error _ -> ()
+  in
+  reject ~schedulers:[| Sched.Spp |]
+    ~jobs:[| { (basic_job "A") with System.steps = [||] } |]
+    "empty chain";
+  reject ~schedulers:[| Sched.Spp |]
+    ~jobs:[| basic_job ~proc:3 "A" |]
+    "processor out of range";
+  reject ~schedulers:[| Sched.Spp |]
+    ~jobs:[| { (basic_job "A") with System.deadline = 0 } |]
+    "zero deadline";
+  reject ~schedulers:[| Sched.Spp |]
+    ~jobs:[| basic_job ~prio:1 "A"; basic_job ~prio:1 "B" |]
+    "duplicate priorities on SPP";
+  (* Duplicate priorities are fine on FCFS. *)
+  match
+    System.make ~schedulers:[| Sched.Fcfs |]
+      ~jobs:[| basic_job ~prio:1 "A"; basic_job ~prio:1 "B" |]
+  with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "FCFS should accept equal priorities: %s" e
+
+let test_blocking_and_neighbors () =
+  let jobs =
+    [|
+      basic_job ~prio:1 ~exec:2 "A";
+      basic_job ~prio:2 ~exec:7 "B";
+      basic_job ~prio:3 ~exec:4 "C";
+    |]
+  in
+  let s = System.make_exn ~schedulers:[| Sched.Spnp |] ~jobs in
+  let id_a = { System.job = 0; step = 0 } in
+  let id_c = { System.job = 2; step = 0 } in
+  check_int "A blocked by max(7,4)" 7 (System.max_blocking s id_a);
+  check_int "C blocked by none" 0 (System.max_blocking s id_c);
+  check_int "A has no hp" 0 (List.length (System.higher_priority_on s id_a));
+  check_int "C has two hp" 2 (List.length (System.higher_priority_on s id_c))
+
+let test_utilization () =
+  let s =
+    System.make_exn ~schedulers:[| Sched.Spp |]
+      ~jobs:[| basic_job ~prio:1 ~exec:2 "A"; basic_job ~prio:2 ~exec:3 "B" |]
+  in
+  (match System.utilization s ~proc:0 with
+  | Some u -> Alcotest.(check (float 1e-9)) "0.5" 0.5 u
+  | None -> Alcotest.fail "expected utilization");
+  let with_trace =
+    System.make_exn ~schedulers:[| Sched.Spp |]
+      ~jobs:
+        [|
+          {
+            (basic_job ~prio:1 "A") with
+            System.arrival = Arrival.Trace [| 0; 5 |];
+          };
+        |]
+  in
+  check_bool "trace has no rate" true (System.utilization with_trace ~proc:0 = None)
+
+(* ------------------------------------------------------------------ *)
+(* Priorities (Eq. 24)                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_deadline_monotonic () =
+  (* Two 2-stage jobs sharing both processors.  Sub-deadlines (Eq. 24):
+     T1: D=20, taus (2,2): both stages 10.  T2: D=12, taus (1,3): stage 1
+     gets 3, stage 2 gets 9.  So T2 outranks T1 on both processors. *)
+  let mk name deadline e1 e2 =
+    {
+      System.name;
+      arrival = Arrival.Periodic { period = 40; offset = 0 };
+      deadline;
+      steps =
+        [|
+          { System.proc = 0; exec = e1; prio = 0 };
+          { System.proc = 1; exec = e2; prio = 0 };
+        |];
+    }
+  in
+  let jobs = Priority.deadline_monotonic [| mk "T1" 20 2 2; mk "T2" 12 1 3 |] in
+  check_int "T2 stage 1 highest" 1 jobs.(1).System.steps.(0).System.prio;
+  check_int "T1 stage 1 second" 2 jobs.(0).System.steps.(0).System.prio;
+  check_int "T2 stage 2 highest" 1 jobs.(1).System.steps.(1).System.prio;
+  check_int "T1 stage 2 second" 2 jobs.(0).System.steps.(1).System.prio
+
+let test_priorities_unique_per_proc () =
+  let mk i =
+    {
+      System.name = Printf.sprintf "T%d" i;
+      arrival = Arrival.Periodic { period = 10 + i; offset = 0 };
+      deadline = 20 + i;
+      steps = [| { System.proc = 0; exec = 1 + (i mod 3); prio = 0 } |];
+    }
+  in
+  let jobs = Priority.deadline_monotonic (Array.init 6 mk) in
+  let prios =
+    Array.to_list jobs |> List.map (fun j -> j.System.steps.(0).System.prio)
+  in
+  Alcotest.(check (list int)) "ranks are a permutation" [ 1; 2; 3; 4; 5; 6 ]
+    (List.sort compare prios)
+
+(* ------------------------------------------------------------------ *)
+(* Builder                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_builder_basic () =
+  let system =
+    Builder.(
+      create [ spp; fcfs ]
+      |> job "control" ~arrival:(periodic 5.0) ~deadline:4.0
+           ~chain:[ on 0 1.0 ~prio:1 (); on 1 1.5 () ]
+      |> job "logger" ~arrival:(bursty 4.0) ~deadline:12.0
+           ~chain:[ on 0 0.8 ~prio:2 () ]
+      |> build_exn)
+  in
+  check_int "processors" 2 (System.processor_count system);
+  check_int "jobs" 2 (System.job_count system);
+  let control = System.job system 0 in
+  check_int "exec ticks" 1000 control.System.steps.(0).System.exec;
+  check_int "deadline ticks" 4000 control.System.deadline;
+  (match control.System.arrival with
+  | Arrival.Periodic { period; offset } ->
+      check_int "period" 5000 period;
+      check_int "offset" 0 offset
+  | _ -> Alcotest.fail "expected periodic");
+  match (System.job system 1).System.arrival with
+  | Arrival.Bursty { period } -> check_int "bursty period" 4000 period
+  | _ -> Alcotest.fail "expected bursty"
+
+let test_builder_auto_prio () =
+  let system =
+    Builder.(
+      create [ spp ]
+      |> job "slow" ~arrival:(periodic 10.0) ~deadline:10.0
+           ~chain:[ on 0 1.0 () ]
+      |> job "fast" ~arrival:(periodic 2.0) ~deadline:2.0
+           ~chain:[ on 0 0.5 () ]
+      |> auto_prio |> build_exn)
+  in
+  (* Eq. 24: "fast" has the smaller sub-deadline, so it outranks "slow". *)
+  check_int "fast on top" 1 (System.job system 1).System.steps.(0).System.prio;
+  check_int "slow below" 2 (System.job system 0).System.steps.(0).System.prio
+
+let test_builder_rejects_invalid () =
+  let b =
+    Builder.(
+      create [ spp ]
+      |> job "a" ~arrival:(periodic 5.0) ~deadline:5.0 ~chain:[ on 3 1.0 () ])
+  in
+  Alcotest.(check bool) "out-of-range proc rejected" true
+    (Result.is_error (Builder.build b))
+
+(* ------------------------------------------------------------------ *)
+(* Pattern envelopes                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_pattern_envelopes () =
+  let module E = Rta_curve.Envelope in
+  let release_horizon = 100 in
+  let check_conforms pattern =
+    let alpha = Arrival.envelope pattern ~release_horizon in
+    let times = Arrival.release_times pattern ~horizon:release_horizon in
+    check_bool
+      (Format.asprintf "%a conforms" Arrival.pp pattern)
+      true
+      (E.conforms alpha times)
+  in
+  List.iter check_conforms
+    [
+      Arrival.Periodic { period = 7; offset = 3 };
+      Arrival.Bursty { period = 2000 };
+      Arrival.Burst_periodic { burst = 3; period = 9; offset = 0 };
+      Arrival.Sporadic_worst { min_gap = 5; count = 8 };
+      Arrival.Trace [| 0; 1; 1; 30; 31 |];
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Parser                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let sample_text =
+  {|# sample system
+processors spp spp fcfs
+
+job T1 arrival periodic period=5.0 deadline 12.5
+  step proc=0 exec=0.5 prio=1
+  step proc=2 exec=0.4
+
+job T2 arrival bursty period=3.0 deadline 9.0
+  step proc=1 exec=0.25 prio=2
+
+job T3 arrival trace 0,1.5,1.5,9.25 deadline 4.0
+  step proc=1 exec=0.5 prio=1
+|}
+
+let test_parse_sample () =
+  match Parser.parse sample_text with
+  | Error e -> Alcotest.fail e
+  | Ok s ->
+      check_int "processors" 3 (System.processor_count s);
+      check_int "jobs" 3 (System.job_count s);
+      let t1 = System.job s 0 in
+      check_int "T1 deadline" 12500 t1.System.deadline;
+      check_int "T1 step 2 proc" 2 t1.System.steps.(1).System.proc;
+      check_int "T1 step 2 default prio" 1 t1.System.steps.(1).System.prio;
+      (match (System.job s 2).System.arrival with
+      | Arrival.Trace times ->
+          Alcotest.(check (array int)) "trace" [| 0; 1500; 1500; 9250 |] times
+      | _ -> Alcotest.fail "expected trace")
+
+let test_parse_errors () =
+  let reject text =
+    match Parser.parse text with
+    | Ok _ -> Alcotest.failf "expected parse error for %S" text
+    | Error _ -> ()
+  in
+  reject "job T1 arrival periodic period=5 deadline 10\n  step proc=0 exec=1\n";
+  reject "processors spp\njob T1 arrival periodic deadline 10\n  step proc=0 exec=1\n";
+  reject "processors spp\njob T1 arrival periodic period=5 deadline 10\n  step proc=2 exec=1\n";
+  reject "processors warp\n";
+  reject "processors spp\nfrobnicate\n"
+
+let test_roundtrip () =
+  match Parser.parse sample_text with
+  | Error e -> Alcotest.fail e
+  | Ok s -> (
+      match Parser.parse (Parser.print s) with
+      | Error e -> Alcotest.failf "re-parse failed: %s" e
+      | Ok s' ->
+          check_int "same processors" (System.processor_count s)
+            (System.processor_count s');
+          check_int "same jobs" (System.job_count s) (System.job_count s');
+          for j = 0 to System.job_count s - 1 do
+            let a = System.job s j and b = System.job s' j in
+            check_bool "same job" true (a = b)
+          done)
+
+let prop_roundtrip_random_systems =
+  (* print/parse on randomly generated stage shops must reproduce the exact
+     same model (job for job). *)
+  let gen =
+    let open QCheck2.Gen in
+    let* seed = int_range 0 100_000 in
+    let* stages = int_range 1 4 in
+    let* jobs = int_range 1 6 in
+    return (seed, stages, jobs)
+  in
+  Rta_testsupport.Gen.qtest ~count:150 "parser roundtrip on generated shops" gen
+    (fun (s, st, j) -> Printf.sprintf "seed=%d stages=%d jobs=%d" s st j)
+    (fun (seed, stages, jobs) ->
+      let config =
+        Rta_workload.Jobshop.default ~stages ~jobs ~utilization:0.5
+          ~arrival:Rta_workload.Jobshop.Periodic_eq25
+          ~deadline:(Rta_workload.Jobshop.Multiple_of_period 2.0)
+          ~sched:Sched.Spnp
+      in
+      let system =
+        Rta_workload.Jobshop.generate config ~rng:(Rta_workload.Rng.make seed)
+      in
+      match Parser.parse (Parser.print system) with
+      | Error _ -> false
+      | Ok reparsed ->
+          System.processor_count reparsed = System.processor_count system
+          && List.for_all
+               (fun j -> System.job reparsed j = System.job system j)
+               (List.init (System.job_count system) Fun.id))
+
+let () =
+  Alcotest.run "rta_model"
+    [
+      ( "time",
+        [
+          Alcotest.test_case "units" `Quick test_time_units;
+          Alcotest.test_case "isqrt" `Quick test_isqrt;
+          prop_isqrt;
+        ] );
+      ( "arrival",
+        [
+          Alcotest.test_case "periodic" `Quick test_periodic_releases;
+          Alcotest.test_case "bursty shape" `Quick test_bursty_shape;
+          Alcotest.test_case "burst periodic" `Quick test_burst_periodic;
+          Alcotest.test_case "sporadic worst" `Quick test_sporadic_worst;
+          Alcotest.test_case "trace validation" `Quick test_trace_validation;
+          prop_arrival_function_counts;
+        ] );
+      ( "system",
+        [
+          Alcotest.test_case "validation errors" `Quick test_validation_errors;
+          Alcotest.test_case "blocking/neighbors" `Quick test_blocking_and_neighbors;
+          Alcotest.test_case "utilization" `Quick test_utilization;
+        ] );
+      ( "priority",
+        [
+          Alcotest.test_case "deadline monotonic (Eq. 24)" `Quick test_deadline_monotonic;
+          Alcotest.test_case "unique ranks" `Quick test_priorities_unique_per_proc;
+        ] );
+      ( "builder",
+        [
+          Alcotest.test_case "basic" `Quick test_builder_basic;
+          Alcotest.test_case "auto prio" `Quick test_builder_auto_prio;
+          Alcotest.test_case "rejects invalid" `Quick test_builder_rejects_invalid;
+        ] );
+      ( "envelopes",
+        [ Alcotest.test_case "patterns conform" `Quick test_pattern_envelopes ] );
+      ( "parser",
+        [
+          Alcotest.test_case "sample" `Quick test_parse_sample;
+          Alcotest.test_case "errors" `Quick test_parse_errors;
+          Alcotest.test_case "roundtrip" `Quick test_roundtrip;
+          prop_roundtrip_random_systems;
+        ] );
+    ]

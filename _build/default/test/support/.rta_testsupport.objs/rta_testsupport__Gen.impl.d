@@ -1,0 +1,1 @@
+test/support/gen.ml: Array Format Gen List Printf QCheck2 QCheck_alcotest Rta_curve

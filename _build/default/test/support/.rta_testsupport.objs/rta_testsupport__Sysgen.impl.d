@@ -1,0 +1,1 @@
+test/support/sysgen.ml: Array Arrival Format Fun Gen List Printf Priority QCheck2 Rta_model Sched System

@@ -1,0 +1,76 @@
+(* QCheck generators shared by the test suites. *)
+
+open QCheck2
+
+let horizon = 64
+(* Small horizon keeps the O(H^2) dense oracle fast while still covering
+   every structural case (empty, jump at 0, clustered jumps, tails). *)
+
+(* A random step function with jumps inside [0, horizon]. *)
+let step_gen : Rta_curve.Step.t Gen.t =
+  let open Gen in
+  let* n = int_range 0 10 in
+  let* times = list_repeat n (int_range 0 horizon) in
+  let* increments = list_repeat n (int_range 1 5) in
+  let* init = int_range 0 3 in
+  let sorted = List.sort compare times in
+  let pairs =
+    List.map2 (fun t inc -> (t, inc)) sorted increments
+    |> List.fold_left
+         (fun (acc, v) (t, inc) -> ((t, v + inc) :: acc, v + inc))
+         ([], init)
+    |> fst |> List.rev
+  in
+  return (Rta_curve.Step.of_samples ~init pairs)
+
+(* A random arrival-time vector (sorted, possibly with simultaneous
+   releases). *)
+let arrivals_gen : int array Gen.t =
+  let open Gen in
+  let* n = int_range 0 12 in
+  let* times = list_repeat n (int_range 0 horizon) in
+  return (Array.of_list (List.sort compare times))
+
+(* Piecewise-linear function from an initial value, segment lengths and
+   per-segment slopes (the last slope is the tail). *)
+let pl_of_segments ~y0 gaps slopes =
+  let rec build x y knots gaps slopes =
+    match (gaps, slopes) with
+    | [], [ tail ] -> (List.rev knots, tail)
+    | g :: gaps', s :: slopes' ->
+        let x' = x + g and y' = y + (s * g) in
+        build x' y' ((x', y') :: knots) gaps' slopes'
+    | _ -> assert false
+  in
+  let knots, tail = build 0 y0 [ (0, y0) ] gaps slopes in
+  Rta_curve.Pl.of_knots ~tail knots
+
+let pl_with ~y0_gen ~slope_gen : Rta_curve.Pl.t Gen.t =
+  let open Gen in
+  let* n = int_range 0 8 in
+  let* gaps = list_repeat n (int_range 1 8) in
+  let* slopes = list_repeat (n + 1) slope_gen in
+  let* y0 = y0_gen in
+  return (pl_of_segments ~y0 gaps slopes)
+
+(* A random piecewise-linear grid function with slopes in [-2, 3]. *)
+let pl_gen = pl_with ~y0_gen:(Gen.int_range (-5) 10) ~slope_gen:(Gen.int_range (-2) 3)
+
+(* A random non-decreasing piecewise-linear function (slopes in [0, 2]). *)
+let pl_mono_gen = pl_with ~y0_gen:(Gen.int_range 0 10) ~slope_gen:(Gen.int_range 0 2)
+
+(* Availability functions as produced by the analysis: non-decreasing with
+   slopes in {0, 1} and value 0 at the origin. *)
+let avail_gen = pl_with ~y0_gen:(Gen.return 0) ~slope_gen:(Gen.int_range 0 1)
+
+let print_step f = Format.asprintf "%a" Rta_curve.Step.pp f
+let print_pl f = Format.asprintf "%a" Rta_curve.Pl.pp f
+
+(* Wrap a QCheck2 property as an alcotest case. *)
+let qtest ?(count = 300) name gen print prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name ~print gen prop)
+
+let qtest2 ?(count = 300) name gen1 print1 gen2 print2 prop =
+  let gen = Gen.pair gen1 gen2 in
+  let print (a, b) = Printf.sprintf "(%s, %s)" (print1 a) (print2 b) in
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name ~print gen prop)

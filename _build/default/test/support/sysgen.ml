@@ -1,0 +1,78 @@
+(* Random small systems for cross-validating the analysis against the
+   simulator.  Systems are stage-structured (every chain walks stage 0, 1,
+   ... in order), which guarantees an acyclic dependency graph — the regime
+   the paper's evaluation uses (Figure 2). *)
+
+open QCheck2
+open Rta_model
+
+type config = {
+  stages : int;
+  procs_per_stage : int;
+  jobs : int;
+  sched : Sched.t array;  (* one per processor *)
+}
+
+let arrival_gen ~release_horizon : Arrival.pattern Gen.t =
+  let open Gen in
+  let periodic =
+    let* period = int_range 5 25 in
+    let* offset = int_range 0 10 in
+    return (Arrival.Periodic { period; offset })
+  in
+  let bursty =
+    let* period = int_range 5 25 in
+    return (Arrival.Bursty { period })
+  in
+  let burst_periodic =
+    let* burst = int_range 2 4 in
+    let* period = int_range 8 25 in
+    let* offset = int_range 0 6 in
+    return (Arrival.Burst_periodic { burst; period; offset })
+  in
+  let trace =
+    let* n = int_range 0 6 in
+    let* times = list_repeat n (int_range 0 release_horizon) in
+    return (Arrival.Trace (Array.of_list (List.sort compare times)))
+  in
+  oneof [ periodic; bursty; burst_periodic; trace ]
+
+let system_gen ?(sched_gen = Gen.oneofl Sched.all) ~release_horizon () :
+    System.t Gen.t =
+  let open Gen in
+  let* stages = int_range 1 3 in
+  let* procs_per_stage = int_range 1 2 in
+  let* jobs = int_range 1 4 in
+  let n_procs = stages * procs_per_stage in
+  let* schedulers = array_repeat n_procs sched_gen in
+  let* job_list =
+    list_repeat jobs
+      (let* arrival = arrival_gen ~release_horizon in
+       let* deadline = int_range 10 200 in
+       let* procs_in_stage = list_repeat stages (int_range 0 (procs_per_stage - 1)) in
+       let* execs = list_repeat stages (int_range 1 4) in
+       return (arrival, deadline, procs_in_stage, execs))
+  in
+  let jobs_arr =
+    List.mapi
+      (fun ji (arrival, deadline, procs_in_stage, execs) ->
+        let steps =
+          List.map2
+            (fun stage (p, exec) ->
+              { System.proc = (stage * procs_per_stage) + p; exec; prio = 0 })
+            (List.init stages Fun.id)
+            (List.combine procs_in_stage execs)
+        in
+        {
+          System.name = Printf.sprintf "T%d" (ji + 1);
+          arrival;
+          deadline;
+          steps = Array.of_list steps;
+        })
+      job_list
+    |> Array.of_list
+  in
+  let jobs_arr = Priority.deadline_monotonic jobs_arr in
+  return (System.make_exn ~schedulers ~jobs:jobs_arr)
+
+let print_system s = Format.asprintf "%a" System.pp s
