@@ -2,15 +2,21 @@
 
    Running this executable regenerates every figure of the paper's
    evaluation (Figures 1-4) plus the extension tables (tightness T-1,
-   ablations T-2), then times the building blocks with Bechamel.
+   ablations T-2), times the building blocks with Bechamel, and writes a
+   machine-readable perf baseline to BENCH_rta.json (see the README's
+   Observability section for the schema) so later PRs can compare against
+   it.
 
    Environment knobs:
      RTA_SETS   job sets per data point (default 100; the paper used 1000)
      RTA_JOBS   jobs per set            (default 6)
      RTA_SEED   base random seed        (default 42)
-     RTA_SKIP_FIGURES / RTA_SKIP_MICRO  set to 1 to skip a section. *)
+     RTA_SKIP_FIGURES / RTA_SKIP_MICRO  set to 1 to skip a section
+     RTA_BENCH_OUT  output path for the JSON baseline
+                    (default BENCH_rta.json; empty string disables). *)
 
 module F = Rta_experiments.Figures
+module Json = Rta_obs.Json
 
 let env_int name default =
   match Sys.getenv_opt name with
@@ -24,31 +30,37 @@ let jobs = env_int "RTA_JOBS" 6
 let seed = env_int "RTA_SEED" 42
 
 (* ------------------------------------------------------------------ *)
-(* Figure regeneration                                                 *)
+(* Figure regeneration (wall-clock timed per section)                  *)
 (* ------------------------------------------------------------------ *)
+
+let figure_timings : (string * float) list ref = ref []
+
+let section name f =
+  let t0 = Unix.gettimeofday () in
+  let s = f () in
+  figure_timings := (name, Unix.gettimeofday () -. t0) :: !figure_timings;
+  print_string s;
+  print_newline ()
 
 let figures () =
   Printf.printf
     "=== Reproduction: Li, Bettati, Zhao (ICPP 1998) ===\n\
      sets/point=%d jobs/set=%d seed=%d (paper used 1000 sets; set RTA_SETS)\n\n"
     sets jobs seed;
-  let section s = print_string s; print_newline () in
-  section (F.fig1 ());
-  section (F.fig2 ());
-  section (F.fig3 ~sets ~jobs ~seed ());
-  section (F.fig4 ~sets ~jobs ~seed ());
-  section (F.tightness ~sets:(max 20 (sets / 2)) ~seed ());
-  section (F.ablation ~sets:(max 20 (sets / 2)) ~seed ());
-  section (F.robustness ~sets:(max 20 (sets / 2)) ~seed ());
-  section (F.envelope_admission ~sets:(max 20 (sets / 2)) ~seed ());
-  section (F.perf_scaling ())
+  section "fig1" (fun () -> F.fig1 ());
+  section "fig2" (fun () -> F.fig2 ());
+  section "fig3" (fun () -> F.fig3 ~sets ~jobs ~seed ());
+  section "fig4" (fun () -> F.fig4 ~sets ~jobs ~seed ());
+  section "tightness" (fun () -> F.tightness ~sets:(max 20 (sets / 2)) ~seed ());
+  section "ablation" (fun () -> F.ablation ~sets:(max 20 (sets / 2)) ~seed ());
+  section "robustness" (fun () -> F.robustness ~sets:(max 20 (sets / 2)) ~seed ());
+  section "envelope_admission" (fun () ->
+      F.envelope_admission ~sets:(max 20 (sets / 2)) ~seed ());
+  section "perf_scaling" (fun () -> F.perf_scaling ())
 
 (* ------------------------------------------------------------------ *)
-(* Bechamel micro-benchmarks                                           *)
+(* Shared workloads                                                    *)
 (* ------------------------------------------------------------------ *)
-
-open Bechamel
-open Toolkit
 
 let shop sched =
   let config =
@@ -60,60 +72,64 @@ let shop sched =
 
 let horizons system = Rta_workload.Jobshop.suggested_horizons system
 
-let bench_engine sched name =
+let transform_work =
+  (* The inner min-plus transform on a realistic trace. *)
+  lazy
+    (Rta_curve.Step.scale
+       (Rta_model.Arrival.arrival_function
+          (Rta_model.Arrival.Bursty { period = 1500 })
+          ~horizon:150_000)
+       700)
+
+let run_engine sched () =
   let system = shop sched in
   let release_horizon, horizon = horizons system in
-  Test.make ~name
-    (Staged.stage (fun () ->
-         match Rta_core.Engine.run ~release_horizon ~horizon system with
-         | Ok e -> ignore (Rta_core.Response.schedulable e ~estimator:`Direct)
-         | Error _ -> ()))
+  match Rta_core.Engine.run ~release_horizon ~horizon system with
+  | Ok e -> ignore (Rta_core.Response.schedulable e ~estimator:`Direct)
+  | Error _ -> ()
 
-let bench_transform =
-  (* The inner min-plus transform on a realistic trace. *)
-  let work =
-    Rta_curve.Step.scale
-      (Rta_model.Arrival.arrival_function
-         (Rta_model.Arrival.Bursty { period = 1500 })
-         ~horizon:150_000)
-      700
-  in
-  Test.make ~name:"minplus transform (100 instances)"
-    (Staged.stage (fun () ->
-         ignore
-           (Rta_curve.Minplus.transform ~mode:`Left ~avail:Rta_curve.Pl.identity
-              ~work)))
+let run_transform () =
+  ignore
+    (Rta_curve.Minplus.transform ~mode:`Left ~avail:Rta_curve.Pl.identity
+       ~work:(Lazy.force transform_work))
 
-let bench_sim =
+let run_sim () =
   let system = shop Rta_model.Sched.Spp in
   let release_horizon, horizon = horizons system in
-  Test.make ~name:"simulator (3-stage shop)"
-    (Staged.stage (fun () ->
-         ignore (Rta_sim.Sim.run ~release_horizon system ~horizon)))
+  ignore (Rta_sim.Sim.run ~release_horizon system ~horizon)
 
-let bench_sunliu =
-  let system = shop Rta_model.Sched.Spp in
-  Test.make ~name:"Sun&Liu iteration"
-    (Staged.stage (fun () -> ignore (Rta_baselines.Sunliu.analyze system)))
+let run_sunliu () =
+  ignore (Rta_baselines.Sunliu.analyze (shop Rta_model.Sched.Spp))
 
-let bench_fixpoint =
+let run_fixpoint () =
   let system = shop Rta_model.Sched.Spp in
   let release_horizon, horizon = horizons system in
-  Test.make ~name:"Section 6 fixpoint"
-    (Staged.stage (fun () ->
-         ignore (Rta_core.Fixpoint.analyze ~release_horizon ~horizon system)))
+  ignore (Rta_core.Fixpoint.analyze ~release_horizon ~horizon system)
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks                                           *)
+(* ------------------------------------------------------------------ *)
+
+open Bechamel
+open Toolkit
+
+let micro_results : (string * float option) list ref = ref []
 
 let micro () =
   print_endline "=== Micro-benchmarks (Bechamel; ns/run via OLS) ===";
   let tests =
     [
-      bench_transform;
-      bench_engine Rta_model.Sched.Spp "engine SPP/Exact (3-stage shop)";
-      bench_engine Rta_model.Sched.Spnp "engine SPNP/App (3-stage shop)";
-      bench_engine Rta_model.Sched.Fcfs "engine FCFS/App (3-stage shop)";
-      bench_sim;
-      bench_sunliu;
-      bench_fixpoint;
+      Test.make ~name:"minplus transform (100 instances)"
+        (Staged.stage run_transform);
+      Test.make ~name:"engine SPP/Exact (3-stage shop)"
+        (Staged.stage (run_engine Rta_model.Sched.Spp));
+      Test.make ~name:"engine SPNP/App (3-stage shop)"
+        (Staged.stage (run_engine Rta_model.Sched.Spnp));
+      Test.make ~name:"engine FCFS/App (3-stage shop)"
+        (Staged.stage (run_engine Rta_model.Sched.Fcfs));
+      Test.make ~name:"simulator (3-stage shop)" (Staged.stage run_sim);
+      Test.make ~name:"Sun&Liu iteration" (Staged.stage run_sunliu);
+      Test.make ~name:"Section 6 fixpoint" (Staged.stage run_fixpoint);
     ]
   in
   let benchmark test =
@@ -125,18 +141,117 @@ let micro () =
     in
     Analyze.all ols Instance.monotonic_clock raw
   in
+  (* Bechamel returns results keyed by a hash table whose iteration order is
+     unspecified: collect everything, then sort by test name so output (and
+     the JSON baseline) is deterministic across runs. *)
+  let rows =
+    List.concat_map
+      (fun test ->
+        let results = benchmark test in
+        Hashtbl.fold
+          (fun name result acc ->
+            let est =
+              match Analyze.OLS.estimates result with
+              | Some [ est ] -> Some est
+              | Some _ | None -> None
+            in
+            (name, est) :: acc)
+          results [])
+      tests
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  micro_results := rows;
   List.iter
-    (fun test ->
-      let results = benchmark test in
-      Hashtbl.iter
-        (fun name result ->
-          match Analyze.OLS.estimates result with
-          | Some [ est ] -> Printf.printf "  %-40s %12.0f ns/run\n" name est
-          | Some _ | None -> Printf.printf "  %-40s (no estimate)\n" name)
-        results)
-    tests;
+    (fun (name, est) ->
+      match est with
+      | Some est -> Printf.printf "  %-40s %12.0f ns/run\n" name est
+      | None -> Printf.printf "  %-40s (no estimate)\n" name)
+    rows;
   print_newline ()
+
+(* ------------------------------------------------------------------ *)
+(* Instrumented single pass: component timings + curve-size metrics    *)
+(* ------------------------------------------------------------------ *)
+
+(* One observed run of each building block.  Always executed (it costs a few
+   milliseconds) so BENCH_rta.json carries per-component timings, curve-size
+   histograms and fixpoint iteration counts even when the Bechamel section
+   is skipped. *)
+let instrumented_pass () =
+  Rta_obs.reset ();
+  Rta_obs.set_enabled true;
+  let components =
+    [
+      ("minplus_transform", run_transform);
+      ("engine_spp", run_engine Rta_model.Sched.Spp);
+      ("engine_spnp", run_engine Rta_model.Sched.Spnp);
+      ("engine_fcfs", run_engine Rta_model.Sched.Fcfs);
+      ("sim", run_sim);
+      ("fixpoint", run_fixpoint);
+    ]
+  in
+  let timings =
+    List.map
+      (fun (name, f) ->
+        let t0 = Unix.gettimeofday () in
+        f ();
+        (name, Json.Float (Unix.gettimeofday () -. t0)))
+      components
+  in
+  let metrics = Rta_obs.metrics_json () in
+  Rta_obs.set_enabled false;
+  Rta_obs.reset ();
+  (timings, metrics)
+
+(* ------------------------------------------------------------------ *)
+(* JSON baseline                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let write_baseline path =
+  let component_seconds, metrics = instrumented_pass () in
+  let doc =
+    Json.Obj
+      [
+        ("schema", Json.String "rta-bench/1");
+        ( "config",
+          Json.Obj
+            [
+              ("sets", Json.Int sets);
+              ("jobs", Json.Int jobs);
+              ("seed", Json.Int seed);
+            ] );
+        ( "figures_seconds",
+          Json.Obj
+            (List.rev_map (fun (n, s) -> (n, Json.Float s)) !figure_timings) );
+        ( "micro_ns_per_run",
+          Json.List
+            (List.map
+               (fun (name, est) ->
+                 Json.Obj
+                   [
+                     ("name", Json.String name);
+                     ( "ns_per_run",
+                       match est with
+                       | Some e -> Json.Float e
+                       | None -> Json.Null );
+                   ])
+               !micro_results) );
+        ("component_seconds", Json.Obj component_seconds);
+        ("metrics", metrics);
+      ]
+  in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      Json.to_channel oc doc;
+      output_char oc '\n');
+  Printf.printf "wrote %s\n" path
 
 let () =
   if not (env_flag "RTA_SKIP_FIGURES") then figures ();
-  if not (env_flag "RTA_SKIP_MICRO") then micro ()
+  if not (env_flag "RTA_SKIP_MICRO") then micro ();
+  match Sys.getenv_opt "RTA_BENCH_OUT" with
+  | Some "" -> ()
+  | Some path -> write_baseline path
+  | None -> write_baseline "BENCH_rta.json"

@@ -56,6 +56,45 @@ let setup_logs verbose =
   Logs.set_reporter (Logs_fmt.reporter ());
   Logs.set_level (Some (if verbose then Logs.Debug else Logs.Warning))
 
+(* Observability: --profile / --metrics FILE on every subcommand, plus the
+   RTA_TRACE=FILE environment knob for a JSON-lines span stream.  Emission
+   happens via at_exit so commands that call [exit] early (unschedulable
+   verdicts, parse errors) still report whatever was collected. *)
+
+let profile_arg =
+  Arg.(value & flag
+       & info [ "profile" ]
+           ~doc:"After the command finishes, print the span tree (per-subjob engine spans, fixpoint iterations, ...) and all metric values.")
+
+let metrics_arg =
+  Arg.(value & opt (some string) None
+       & info [ "metrics" ] ~docv:"FILE"
+           ~doc:"Write a JSON snapshot of all metrics and spans to $(docv) on exit.")
+
+let setup_obs profile metrics =
+  let trace = Sys.getenv_opt "RTA_TRACE" in
+  if profile || metrics <> None || trace <> None then begin
+    Rta_obs.set_enabled true;
+    (match trace with
+    | Some path ->
+        let oc = open_out path in
+        Rta_obs.set_trace_channel (Some oc);
+        at_exit (fun () ->
+            Rta_obs.set_trace_channel None;
+            close_out oc)
+    | None -> ());
+    at_exit (fun () ->
+        (match metrics with
+        | Some path -> Rta_obs.write_snapshot path
+        | None -> ());
+        if profile then begin
+          Format.printf "@.== profile ==@.";
+          Rta_obs.report Format.std_formatter ()
+        end)
+  end
+
+let obs_term = Term.(const setup_obs $ profile_arg $ metrics_arg)
+
 (* analyze *)
 
 let analyze_cmd =
@@ -75,7 +114,7 @@ let analyze_cmd =
          & info [ "dump-curves" ] ~docv:"DIR"
              ~doc:"Write each subjob's arrival/departure bound curves as CSV files into DIR.")
   in
-  let run file horizon release_horizon auto_prio estimator verbose explain dump =
+  let run () file horizon release_horizon auto_prio estimator verbose explain dump =
     setup_logs verbose;
     let system = load_system file auto_prio in
     let release_horizon, horizon = horizons system horizon release_horizon in
@@ -127,7 +166,7 @@ let analyze_cmd =
   in
   Cmd.v
     (Cmd.info "analyze" ~doc:"Worst-case response-time analysis of a system description.")
-    Term.(const run $ file_arg $ horizon_arg $ release_horizon_arg $ auto_prio_arg $ estimator_arg $ verbose_arg $ explain_arg $ dump_arg)
+    Term.(const run $ obs_term $ file_arg $ horizon_arg $ release_horizon_arg $ auto_prio_arg $ estimator_arg $ verbose_arg $ explain_arg $ dump_arg)
 
 (* simulate *)
 
@@ -136,7 +175,7 @@ let simulate_cmd =
     Arg.(value & flag
          & info [ "gantt" ] ~doc:"Draw an ASCII Gantt chart of the schedule.")
   in
-  let run file horizon release_horizon auto_prio gantt =
+  let run () file horizon release_horizon auto_prio gantt =
     let system = load_system file auto_prio in
     let release_horizon, horizon = horizons system horizon release_horizon in
     let sim = Rta_sim.Sim.run ~release_horizon system ~horizon in
@@ -160,7 +199,7 @@ let simulate_cmd =
   in
   Cmd.v
     (Cmd.info "simulate" ~doc:"Event-driven simulation of a system description.")
-    Term.(const run $ file_arg $ horizon_arg $ release_horizon_arg $ auto_prio_arg $ gantt_arg)
+    Term.(const run $ obs_term $ file_arg $ horizon_arg $ release_horizon_arg $ auto_prio_arg $ gantt_arg)
 
 (* baseline *)
 
@@ -175,7 +214,7 @@ let baseline_cmd =
          & info [ "method" ] ~docv:"NAME"
              ~doc:"One of $(b,sunliu), $(b,holistic), $(b,joseph-pandya), $(b,utilization).")
   in
-  let run file auto_prio method_ =
+  let run () file auto_prio method_ =
     let system = load_system file auto_prio in
     let print_verdicts name verdicts =
       Format.printf "%s end-to-end bounds:@." name;
@@ -230,7 +269,7 @@ let baseline_cmd =
   in
   Cmd.v
     (Cmd.info "baseline" ~doc:"Classic baseline analyses (S&L, holistic, Joseph-Pandya, utilization).")
-    Term.(const run $ file_arg $ auto_prio_arg $ method_arg)
+    Term.(const run $ obs_term $ file_arg $ auto_prio_arg $ method_arg)
 
 (* generate *)
 
@@ -253,7 +292,7 @@ let generate_cmd =
     let sched_conv = Arg.enum [ ("spp", Sched.Spp); ("spnp", Sched.Spnp); ("fcfs", Sched.Fcfs) ] in
     Arg.(value & opt sched_conv Sched.Spp & info [ "sched" ] ~docv:"POLICY" ~doc:"Scheduler on every processor.")
   in
-  let run stages jobs utilization arrival sched seed =
+  let run () stages jobs utilization arrival sched seed =
     let config =
       Rta_workload.Jobshop.default ~stages ~jobs ~utilization ~arrival
         ~deadline:(Rta_workload.Jobshop.Multiple_of_period 2.0) ~sched
@@ -265,12 +304,12 @@ let generate_cmd =
   in
   Cmd.v
     (Cmd.info "generate" ~doc:"Generate a random job shop (Section 5 workload) as a description file.")
-    Term.(const run $ stages_arg $ jobs_arg $ util_arg $ arrival_arg $ sched_arg $ seed_arg)
+    Term.(const run $ obs_term $ stages_arg $ jobs_arg $ util_arg $ arrival_arg $ sched_arg $ seed_arg)
 
 (* envelope *)
 
 let envelope_cmd =
-  let run file auto_prio =
+  let run () file auto_prio =
     let system = load_system file auto_prio in
     let n_procs = System.processor_count system in
     let n_jobs = System.job_count system in
@@ -319,12 +358,12 @@ let envelope_cmd =
   Cmd.v
     (Cmd.info "envelope"
        ~doc:"Horizon-free envelope bounds for pipeline systems (network-calculus extension).")
-    Term.(const run $ file_arg $ auto_prio_arg)
+    Term.(const run $ obs_term $ file_arg $ auto_prio_arg)
 
 (* sensitivity *)
 
 let sensitivity_cmd =
-  let run file horizon release_horizon auto_prio =
+  let run () file horizon release_horizon auto_prio =
     let system = load_system file auto_prio in
     let release_horizon, horizon = horizons system horizon release_horizon in
     (match Rta_core.Sensitivity.utilization_headroom system with
@@ -347,7 +386,7 @@ let sensitivity_cmd =
   Cmd.v
     (Cmd.info "sensitivity"
        ~doc:"Critical scaling factor: how much execution budgets can grow (or must shrink).")
-    Term.(const run $ file_arg $ horizon_arg $ release_horizon_arg $ auto_prio_arg)
+    Term.(const run $ obs_term $ file_arg $ horizon_arg $ release_horizon_arg $ auto_prio_arg)
 
 (* figures *)
 
@@ -369,7 +408,7 @@ let figures_cmd =
          & info [ "csv" ] ~docv:"FILE"
              ~doc:"Also write Figure 3's data as long-format CSV (fig3/all only).")
   in
-  let run what sets jobs seed csv =
+  let run () what sets jobs seed csv =
     let module F = Rta_experiments.Figures in
     let emit s = print_string s; print_newline () in
     (match what with
@@ -402,7 +441,7 @@ let figures_cmd =
   in
   Cmd.v
     (Cmd.info "figures" ~doc:"Regenerate the paper's figures and the extension tables.")
-    Term.(const run $ what_arg $ sets_arg $ jobs_arg $ seed_arg $ csv_arg)
+    Term.(const run $ obs_term $ what_arg $ sets_arg $ jobs_arg $ seed_arg $ csv_arg)
 
 let () =
   let default = Term.(ret (const (`Help (`Pager, None)))) in

@@ -28,18 +28,29 @@ let finish system method_used per_job =
   { method_used; per_job; schedulable }
 
 let run ?(estimator = `Direct) ?release_horizon ~horizon system =
-  match Engine.run ?release_horizon ~horizon system with
-  | Error (`Cyclic _) ->
-      let fp = Fixpoint.analyze ?release_horizon ~horizon system in
-      finish system `Fixpoint (Array.map of_fixpoint fp.Fixpoint.per_job)
-  | Ok engine ->
-      let exact = Engine.is_exact engine in
-      let estimator = if exact then `Exact else (estimator :> Response.estimator) in
-      let per_job =
-        Array.init (System.job_count system) (fun j ->
-            of_response (Response.end_to_end engine ~estimator ~job:j))
-      in
-      finish system (if exact then `Exact else `Approximate) per_job
+  let sp = Rta_obs.span_begin "analysis.run" in
+  let report =
+    match Engine.run ?release_horizon ~horizon system with
+    | Error (`Cyclic _) ->
+        let fp = Fixpoint.analyze ?release_horizon ~horizon system in
+        finish system `Fixpoint (Array.map of_fixpoint fp.Fixpoint.per_job)
+    | Ok engine ->
+        let exact = Engine.is_exact engine in
+        let estimator = if exact then `Exact else (estimator :> Response.estimator) in
+        let per_job =
+          Array.init (System.job_count system) (fun j ->
+              of_response (Response.end_to_end engine ~estimator ~job:j))
+        in
+        finish system (if exact then `Exact else `Approximate) per_job
+  in
+  if Rta_obs.enabled () then
+    Rta_obs.span_str sp "method"
+      (match report.method_used with
+      | `Exact -> "exact"
+      | `Approximate -> "approximate"
+      | `Fixpoint -> "fixpoint");
+  Rta_obs.span_end sp;
+  report
 
 let pp_report system ppf report =
   let method_name =

@@ -6,6 +6,18 @@ module Minplus = Rta_curve.Minplus
 let log_src = Logs.Src.create "rta.engine" ~doc:"Response-time analysis engine"
 
 module Log = (val Logs.src_log log_src)
+module Obs = Rta_obs
+
+let c_runs = Obs.counter "engine.runs"
+let c_path_spp_exact = Obs.counter "engine.path.spp_exact"
+let c_path_spp_bounds = Obs.counter "engine.path.spp_bounds"
+let c_path_spnp = Obs.counter "engine.path.spnp"
+let c_path_fcfs = Obs.counter "engine.path.fcfs"
+let c_path_fcfs_exact = Obs.counter "engine.path.fcfs_exact"
+let h_entry_arr_jumps = Obs.histogram "engine.entry.arr_jumps"
+let h_entry_dep_jumps = Obs.histogram "engine.entry.dep_jumps"
+let h_entry_svc_knots = Obs.histogram "engine.entry.svc_knots"
+let h_subjob_seconds = Obs.histogram "engine.subjob.seconds"
 
 type entry = {
   id : System.subjob_id;
@@ -207,6 +219,18 @@ let run ?(variant = `Sound) ?(extra_blocking = fun _ -> 0) ?release_horizon
           ~hp_lo:(List.map (fun e -> e.svc_lo) hp_entries)
           ~work_lo ~work_hi
   in
+  let sp_run =
+    if Obs.enabled () then begin
+      Obs.incr c_runs;
+      let sp = Obs.span_begin "engine.run" in
+      Obs.span_int sp "horizon" horizon;
+      Obs.span_int sp "release_horizon" release_horizon;
+      Obs.span_int sp "subjobs" (System.subjob_count system);
+      sp
+    end
+    else Obs.no_span
+  in
+  let result =
   match Deps.compute system with
   | Deps.Cyclic stuck -> Error (`Cyclic stuck)
   | Deps.Acyclic order ->
@@ -227,6 +251,14 @@ let run ?(variant = `Sound) ?(extra_blocking = fun _ -> 0) ?release_horizon
       in
       let get (id : System.subjob_id) = entries.(id.job).(id.step) in
       let compute (id : System.subjob_id) =
+        let sp =
+          if Obs.enabled () then
+            Obs.span_begin
+              (Printf.sprintf "engine.subjob %s.%d"
+                 (System.job system id.job).System.name (id.step + 1))
+          else Obs.no_span
+        in
+        let t0 = if Obs.enabled () then Obs.now () else 0. in
         let s = System.step system id in
         let tau = s.System.exec in
         (* Arrival bounds: first stage is the exact release trace; later
@@ -374,7 +406,39 @@ let run ?(variant = `Sound) ?(extra_blocking = fun _ -> 0) ?release_horizon
               (Step.final_value arr_lo) (Step.final_value dep_lo)
               (Step.final_value dep_hi));
         entries.(id.job).(id.step) <-
-          { id; tau; arr_lo; arr_hi; svc_lo; svc_hi; dep_lo; dep_hi; exact }
+          { id; tau; arr_lo; arr_hi; svc_lo; svc_hi; dep_lo; dep_hi; exact };
+        if Obs.enabled () then begin
+          (match (System.scheduler_of system s.System.proc, exact) with
+          | Sched.Spp, true ->
+              Obs.incr c_path_spp_exact;
+              Obs.span_str sp "path" "spp-exact"
+          | Sched.Spp, false ->
+              Obs.incr c_path_spp_bounds;
+              Obs.span_str sp "path" "spp-bounds"
+          | Sched.Spnp, _ ->
+              Obs.incr c_path_spnp;
+              Obs.span_str sp "path" "spnp"
+          | Sched.Fcfs, true ->
+              Obs.incr c_path_fcfs_exact;
+              Obs.span_str sp "path" "fcfs-exact"
+          | Sched.Fcfs, false ->
+              Obs.incr c_path_fcfs;
+              Obs.span_str sp "path" "fcfs");
+          Obs.span_int sp "arr_lo.jumps" (Step.jump_count arr_lo);
+          Obs.span_int sp "arr_hi.jumps" (Step.jump_count arr_hi);
+          Obs.span_int sp "dep_lo.jumps" (Step.jump_count dep_lo);
+          Obs.span_int sp "dep_hi.jumps" (Step.jump_count dep_hi);
+          Obs.span_int sp "svc_lo.knots" (Pl.knot_count svc_lo);
+          Obs.span_int sp "svc_hi.knots" (Pl.knot_count svc_hi);
+          Obs.observe_int h_entry_arr_jumps (Step.jump_count arr_hi);
+          Obs.observe_int h_entry_dep_jumps (Step.jump_count dep_hi);
+          Obs.observe_int h_entry_svc_knots (Pl.knot_count svc_hi);
+          Obs.observe h_subjob_seconds (Obs.now () -. t0)
+        end;
+        Obs.span_end sp
       in
       List.iter compute order;
       Ok { system; horizon; release_horizon; entries }
+  in
+  Obs.span_end sp_run;
+  result

@@ -4,6 +4,13 @@ module Step = Rta_curve.Step
 let log_src = Logs.Src.create "rta.fixpoint" ~doc:"Section 6 fixed-point analysis"
 
 module Log = (val Logs.src_log log_src)
+module Obs = Rta_obs
+
+let c_analyses = Obs.counter "fixpoint.analyses"
+let h_iterations = Obs.histogram "fixpoint.iterations"
+let h_residual = Obs.histogram "fixpoint.residual"
+let g_last_iterations = Obs.gauge "fixpoint.last.iterations"
+let g_last_converged = Obs.gauge "fixpoint.last.converged"
 
 type verdict = Bounded of int | Unbounded
 type result = {
@@ -31,6 +38,16 @@ let unbounded_sentinel horizon = (2 * horizon) + 1
    last stage (the Theorem 1 shape applied to departure lower bounds). *)
 let analyze ?(max_iterations = 64) ?release_horizon ~horizon system =
   let release_horizon = Option.value ~default:horizon release_horizon in
+  Obs.incr c_analyses;
+  let sp_run =
+    if Obs.enabled () then begin
+      let sp = Obs.span_begin "fixpoint.analyze" in
+      Obs.span_int sp "horizon" horizon;
+      Obs.span_int sp "subjobs" (System.subjob_count system);
+      sp
+    end
+    else Obs.no_span
+  in
   let n_jobs = System.job_count system in
   let chain j = (System.job system j).System.steps in
   let release_trace =
@@ -64,9 +81,16 @@ let analyze ?(max_iterations = 64) ?release_horizon ~horizon system =
   in
   let iterations = ref 0 in
   let changed = ref true in
+  let residual = ref 0 in
   while !changed && !iterations < max_iterations do
     incr iterations;
     changed := false;
+    residual := 0;
+    let sp_iter =
+      if Obs.enabled () then
+        Obs.span_begin (Printf.sprintf "fixpoint.iteration %d" !iterations)
+      else Obs.no_span
+    in
     let x' = Array.map Array.copy x in
     for p = 0 to System.processor_count system - 1 do
       let residents = System.subjobs_on system p in
@@ -131,12 +155,20 @@ let analyze ?(max_iterations = 64) ?release_horizon ~horizon system =
         let r = if count = 0 then prev else min (worst 1 0) sentinel in
         if r > prev then begin
           x'.(id.System.job).(id.System.step) <- r;
+          residual := max !residual (r - prev);
           changed := true
         end
       in
       List.iter process_subjob residents
     done;
     Array.iteri (fun j row -> Array.blit row 0 x.(j) 0 (Array.length row)) x';
+    if Obs.enabled () then begin
+      (* Residual in the sup norm: max over subjobs of X' - X this round. *)
+      Obs.span_int sp_iter "residual" !residual;
+      Obs.span_str sp_iter "state" (if !changed then "changed" else "stable");
+      Obs.observe_int h_residual !residual
+    end;
+    Obs.span_end sp_iter;
     Log.debug (fun m ->
         m "iteration %d: %s" !iterations
           (if !changed then "changed" else "stable"))
@@ -149,4 +181,13 @@ let analyze ?(max_iterations = 64) ?release_horizon ~horizon system =
         if !changed then Unbounded else row.(Array.length row - 1) |> stage_verdict)
       x
   in
+  if Obs.enabled () then begin
+    Obs.observe_int h_iterations !iterations;
+    Obs.set_gauge g_last_iterations !iterations;
+    Obs.set_gauge g_last_converged (if !changed then 0 else 1);
+    Obs.span_int sp_run "iterations" !iterations;
+    Obs.span_str sp_run "verdict"
+      (if !changed then "diverged-within-budget" else "converged")
+  end;
+  Obs.span_end sp_run;
   { per_job; per_stage; iterations = !iterations }

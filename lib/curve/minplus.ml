@@ -3,6 +3,15 @@
 
 type mode = [ `Left | `Right ]
 
+module Obs = Rta_obs
+
+let c_prefix_min = Obs.counter "minplus.prefix_min.calls"
+let c_convolve = Obs.counter "minplus.convolve.calls"
+let h_work_jumps = Obs.histogram "minplus.work.jumps"
+let h_avail_knots = Obs.histogram "minplus.avail.knots"
+let h_out_knots = Obs.histogram "minplus.out.knots"
+let h_seconds = Obs.histogram "minplus.prefix_min.seconds"
+
 (* Sorted, deduplicated event times: 0, every knot of [avail], and for every
    jump time j of [work] both j and j+1 (so that both the value and the left
    limit of [work] are constant on every open interval between events). *)
@@ -17,7 +26,7 @@ let event_times avail work =
 let work_value ~mode work s =
   match mode with `Left -> Step.eval_left work s | `Right -> Step.eval work s
 
-let prefix_min ~mode ~avail ~work =
+let prefix_min_impl ~mode ~avail ~work =
   let events = event_times avail work in
   let buf = ref [] in
   let push t v =
@@ -83,6 +92,21 @@ let prefix_min ~mode ~avail ~work =
   intervals events;
   Pl.of_knots ~tail:!tail (List.rev !buf)
 
+(* The instrumented entry point: every min-plus transform in the engine
+   routes through this scan, so its call count, input/output segment counts
+   and durations characterize the whole curve layer's hot path. *)
+let prefix_min ~mode ~avail ~work =
+  let t0 = if Obs.enabled () then Obs.now () else 0. in
+  let result = prefix_min_impl ~mode ~avail ~work in
+  if Obs.enabled () then begin
+    Obs.incr c_prefix_min;
+    Obs.observe_int h_work_jumps (Step.jump_count work);
+    Obs.observe_int h_avail_knots (Pl.knot_count avail);
+    Obs.observe_int h_out_knots (Pl.knot_count result);
+    Obs.observe h_seconds (Obs.now () -. t0)
+  end;
+  result
+
 let transform ~mode ~avail ~work =
   Pl.add avail (prefix_min ~mode ~avail ~work)
 
@@ -100,6 +124,7 @@ let transform_blocked ~mode ~avail ~work ~blocking =
 let masked = 1 lsl 40
 
 let convolve f g =
+  Obs.incr c_convolve;
   (* (f * g)(t) = min over candidate curves:
        for every knot (x, y) of f:  y + g(t - x)   (defined for t >= x)
        for every knot (x, y) of g:  y + f(t - x)

@@ -13,6 +13,14 @@
 
 type t = { xs : int array; ys : int array; tail : int }
 
+module Obs = Rta_obs
+
+let c_add = Obs.counter "pl.add.calls"
+let c_sub = Obs.counter "pl.sub.calls"
+let c_min2 = Obs.counter "pl.min2.calls"
+let c_max2 = Obs.counter "pl.max2.calls"
+let h_out_knots = Obs.histogram "pl.out.knots"
+
 let segment_slope f i =
   let n = Array.length f.xs in
   if i = n - 1 then f.tail
@@ -185,8 +193,13 @@ let lift2 op f g =
   let ys = Array.map (fun t -> op (eval f t) (eval g t)) xs in
   normalize ~tail:(op f.tail g.tail) xs ys
 
-let add = lift2 ( + )
-let sub = lift2 ( - )
+let observed c r =
+  Obs.incr c;
+  Obs.observe_int h_out_knots (Array.length r.xs);
+  r
+
+let add f g = observed c_add (lift2 ( + ) f g)
+let sub f g = observed c_sub (lift2 ( - ) f g)
 let neg f = { f with ys = Array.map (fun y -> -y) f.ys; tail = -f.tail }
 let sum l = List.fold_left add zero l
 let scale f k = { f with ys = Array.map (fun y -> k * y) f.ys; tail = k * f.tail }
@@ -233,8 +246,8 @@ let pointwise2 op f g =
   let ys = Array.map (fun t -> op (eval f t) (eval g t)) xs in
   normalize ~tail:(op f.tail g.tail) xs ys
 
-let min2 f g = pointwise2 min f g
-let max2 f g = pointwise2 max f g
+let min2 f g = observed c_min2 (pointwise2 min f g)
+let max2 f g = observed c_max2 (pointwise2 max f g)
 let pos f = max2 f zero
 
 let prefix_max f =

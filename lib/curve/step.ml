@@ -178,7 +178,19 @@ let combine op f g =
   go 0 0;
   normalize ~init:(op f.init g.init) (List.rev !acc)
 
-let add = combine ( + )
+module Obs = Rta_obs
+
+let c_add = Obs.counter "step.add.calls"
+let c_scale = Obs.counter "step.scale.calls"
+let h_out_jumps = Obs.histogram "step.out.jumps"
+
+let observed c r =
+  Obs.incr c;
+  Obs.observe_int h_out_jumps (Array.length r.ts);
+  r
+
+let add f g = observed c_add (combine ( + ) f g)
+let scale f k = observed c_scale (scale f k)
 let min2 = combine min
 let max2 = combine max
 let sum l = List.fold_left add zero l

@@ -1,0 +1,482 @@
+(* Observability registry.  See rta_obs.mli for the cost-model contract:
+   with the registry disabled every hook is one ref read + branch and must
+   not allocate, so the disabled branches below return before touching
+   anything that could box or grow. *)
+
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Int of int
+    | Float of float
+    | String of string
+    | List of t list
+    | Obj of (string * t) list
+
+  let escape buf s =
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | '\r' -> Buffer.add_string buf "\\r"
+        | '\t' -> Buffer.add_string buf "\\t"
+        | c when Char.code c < 0x20 ->
+            Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '"'
+
+  let float_repr f =
+    if not (Float.is_finite f) then "null"
+    else
+      let s = Printf.sprintf "%.12g" f in
+      (* "%g" may print "3" for 3.0 (valid JSON) but never "3." — safe. *)
+      s
+
+  let rec emit buf = function
+    | Null -> Buffer.add_string buf "null"
+    | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+    | Int i -> Buffer.add_string buf (string_of_int i)
+    | Float f -> Buffer.add_string buf (float_repr f)
+    | String s -> escape buf s
+    | List l ->
+        Buffer.add_char buf '[';
+        List.iteri
+          (fun i v ->
+            if i > 0 then Buffer.add_char buf ',';
+            emit buf v)
+          l;
+        Buffer.add_char buf ']'
+    | Obj fields ->
+        Buffer.add_char buf '{';
+        List.iteri
+          (fun i (k, v) ->
+            if i > 0 then Buffer.add_char buf ',';
+            escape buf k;
+            Buffer.add_char buf ':';
+            emit buf v)
+          fields;
+        Buffer.add_char buf '}'
+
+  let to_string v =
+    let buf = Buffer.create 256 in
+    emit buf v;
+    Buffer.contents buf
+
+  let to_channel oc v = output_string oc (to_string v)
+end
+
+(* ------------------------------------------------------------------ *)
+(* Global state                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let enabled_flag = ref false
+let enabled () = !enabled_flag
+let set_enabled b = enabled_flag := b
+
+let clock = ref Unix.gettimeofday
+let set_clock f = clock := f
+let now () = !clock ()
+
+(* ------------------------------------------------------------------ *)
+(* Counters                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type counter = { c_name : string; mutable c_value : int }
+
+let counters : (string, counter) Hashtbl.t = Hashtbl.create 64
+
+let counter name =
+  match Hashtbl.find_opt counters name with
+  | Some c -> c
+  | None ->
+      let c = { c_name = name; c_value = 0 } in
+      Hashtbl.add counters name c;
+      c
+
+let incr c = if !enabled_flag then c.c_value <- c.c_value + 1
+let add c n = if !enabled_flag then c.c_value <- c.c_value + n
+let counter_value c = c.c_value
+
+(* ------------------------------------------------------------------ *)
+(* Gauges                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type gauge = { g_name : string; mutable g_value : int; mutable g_set : bool }
+
+let gauges : (string, gauge) Hashtbl.t = Hashtbl.create 64
+
+let gauge name =
+  match Hashtbl.find_opt gauges name with
+  | Some g -> g
+  | None ->
+      let g = { g_name = name; g_value = 0; g_set = false } in
+      Hashtbl.add gauges name g;
+      g
+
+let set_gauge g v =
+  if !enabled_flag then begin
+    g.g_value <- v;
+    g.g_set <- true
+  end
+
+let max_gauge g v =
+  if !enabled_flag then
+    if (not g.g_set) || v > g.g_value then begin
+      g.g_value <- v;
+      g.g_set <- true
+    end
+
+let gauge_value g = if g.g_set then Some g.g_value else None
+
+(* ------------------------------------------------------------------ *)
+(* Histograms                                                          *)
+(* ------------------------------------------------------------------ *)
+
+type histogram = {
+  h_name : string;
+  mutable h_data : float array;  (* flat float array; stores do not box *)
+  mutable h_len : int;
+}
+
+let histograms : (string, histogram) Hashtbl.t = Hashtbl.create 64
+
+let histogram name =
+  match Hashtbl.find_opt histograms name with
+  | Some h -> h
+  | None ->
+      let h = { h_name = name; h_data = [||]; h_len = 0 } in
+      Hashtbl.add histograms name h;
+      h
+
+let observe_unsafe h v =
+  if h.h_len >= Array.length h.h_data then begin
+    let cap = max 64 (2 * Array.length h.h_data) in
+    let data = Array.make cap 0. in
+    Array.blit h.h_data 0 data 0 h.h_len;
+    h.h_data <- data
+  end;
+  h.h_data.(h.h_len) <- v;
+  h.h_len <- h.h_len + 1
+
+let observe h v = if !enabled_flag then observe_unsafe h v
+let observe_int h n = if !enabled_flag then observe_unsafe h (float_of_int n)
+let histogram_count h = h.h_len
+
+let sorted_copy h =
+  let a = Array.sub h.h_data 0 h.h_len in
+  Array.sort compare a;
+  a
+
+let quantile h q =
+  if h.h_len = 0 then nan
+  else begin
+    let a = sorted_copy h in
+    (* Nearest-rank: the ceil(q*n)-th smallest observation. *)
+    let rank = int_of_float (Float.ceil (q *. float_of_int h.h_len)) in
+    a.(min (h.h_len - 1) (max 0 (rank - 1)))
+  end
+
+let histogram_max h =
+  if h.h_len = 0 then nan
+  else begin
+    let m = ref h.h_data.(0) in
+    for i = 1 to h.h_len - 1 do
+      if h.h_data.(i) > !m then m := h.h_data.(i)
+    done;
+    !m
+  end
+
+let histogram_mean h =
+  if h.h_len = 0 then nan
+  else begin
+    let s = ref 0. in
+    for i = 0 to h.h_len - 1 do
+      s := !s +. h.h_data.(i)
+    done;
+    !s /. float_of_int h.h_len
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Spans                                                               *)
+(* ------------------------------------------------------------------ *)
+
+type span = int
+
+let no_span = -1
+
+type attr = Int of int | Str of string
+
+type span_rec = {
+  s_name : string;
+  s_parent : int;
+  s_depth : int;
+  s_start : float;
+  mutable s_stop : float;  (* negative while still open *)
+  mutable s_attrs : (string * attr) list;  (* reversed *)
+}
+
+let span_store = ref ([||] : span_rec array)
+let span_len = ref 0
+let span_cur = ref (-1)
+let trace_oc : out_channel option ref = ref None
+let set_trace_channel oc = trace_oc := oc
+
+let span_push r =
+  if !span_len >= Array.length !span_store then begin
+    let cap = max 64 (2 * Array.length !span_store) in
+    let store = Array.make cap r in
+    Array.blit !span_store 0 store 0 !span_len;
+    span_store := store
+  end;
+  !span_store.(!span_len) <- r;
+  Stdlib.incr span_len
+
+let span_begin name =
+  if not !enabled_flag then no_span
+  else begin
+    let parent = !span_cur in
+    let depth = if parent < 0 then 0 else !span_store.(parent).s_depth + 1 in
+    let r =
+      {
+        s_name = name;
+        s_parent = parent;
+        s_depth = depth;
+        s_start = now ();
+        s_stop = -1.;
+        s_attrs = [];
+      }
+    in
+    let idx = !span_len in
+    span_push r;
+    span_cur := idx;
+    idx
+  end
+
+let attrs_json attrs =
+  Json.Obj
+    (List.rev_map
+       (fun (k, v) ->
+         (k, match v with Int i -> Json.Int i | Str s -> Json.String s))
+       attrs)
+
+let emit_trace r =
+  match !trace_oc with
+  | None -> ()
+  | Some oc ->
+      Json.to_channel oc
+        (Json.Obj
+           [
+             ("type", Json.String "span");
+             ("name", Json.String r.s_name);
+             ("start_s", Json.Float r.s_start);
+             ("dur_s", Json.Float (r.s_stop -. r.s_start));
+             ("depth", Json.Int r.s_depth);
+             ("parent", Json.Int r.s_parent);
+             ("attrs", attrs_json r.s_attrs);
+           ]);
+      output_char oc '\n'
+
+let span_end t =
+  if t >= 0 && t < !span_len then begin
+    let r = !span_store.(t) in
+    if r.s_stop < 0. then begin
+      r.s_stop <- now ();
+      span_cur := r.s_parent;
+      emit_trace r
+    end
+  end
+
+let span_int t k v =
+  if t >= 0 && t < !span_len then begin
+    let r = !span_store.(t) in
+    r.s_attrs <- (k, Int v) :: r.s_attrs
+  end
+
+let span_str t k v =
+  if t >= 0 && t < !span_len then begin
+    let r = !span_store.(t) in
+    r.s_attrs <- (k, Str v) :: r.s_attrs
+  end
+
+let with_span name f =
+  let t = span_begin name in
+  Fun.protect ~finally:(fun () -> span_end t) f
+
+type span_info = {
+  si_name : string;
+  si_parent : int;
+  si_depth : int;
+  si_start : float;
+  si_duration : float;
+  si_attrs : (string * attr) list;
+}
+
+let spans () =
+  Array.init !span_len (fun i ->
+      let r = !span_store.(i) in
+      {
+        si_name = r.s_name;
+        si_parent = r.s_parent;
+        si_depth = r.s_depth;
+        si_start = r.s_start;
+        si_duration = (if r.s_stop < 0. then nan else r.s_stop -. r.s_start);
+        si_attrs = List.rev r.s_attrs;
+      })
+
+(* ------------------------------------------------------------------ *)
+(* Reset                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let reset () =
+  Hashtbl.iter (fun _ c -> c.c_value <- 0) counters;
+  Hashtbl.iter
+    (fun _ g ->
+      g.g_value <- 0;
+      g.g_set <- false)
+    gauges;
+  Hashtbl.iter (fun _ h -> h.h_len <- 0) histograms;
+  span_len := 0;
+  span_cur := -1
+
+(* ------------------------------------------------------------------ *)
+(* Sinks                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let sorted_of_tbl tbl name_of =
+  Hashtbl.fold (fun _ v acc -> v :: acc) tbl []
+  |> List.sort (fun a b -> compare (name_of a) (name_of b))
+
+let pp_duration ppf seconds =
+  if Float.is_nan seconds then Format.fprintf ppf "   (open)"
+  else if seconds >= 1. then Format.fprintf ppf "%8.3fs" seconds
+  else if seconds >= 1e-3 then Format.fprintf ppf "%7.2fms" (seconds *. 1e3)
+  else Format.fprintf ppf "%7.1fus" (seconds *. 1e6)
+
+let max_report_spans = 2000
+
+let report ppf () =
+  let all = spans () in
+  if Array.length all > 0 then begin
+    Format.fprintf ppf "@[<v>== spans ==@,";
+    let shown = min (Array.length all) max_report_spans in
+    for i = 0 to shown - 1 do
+      let s = all.(i) in
+      Format.fprintf ppf "%a  %s%s" pp_duration s.si_duration
+        (String.make (2 * s.si_depth) ' ')
+        s.si_name;
+      List.iter
+        (fun (k, v) ->
+          match v with
+          | Int n -> Format.fprintf ppf " %s=%d" k n
+          | Str str -> Format.fprintf ppf " %s=%s" k str)
+        s.si_attrs;
+      Format.fprintf ppf "@,"
+    done;
+    if Array.length all > shown then
+      Format.fprintf ppf "  ... (%d more spans)@," (Array.length all - shown);
+    Format.fprintf ppf "@]"
+  end;
+  let live_counters =
+    sorted_of_tbl counters (fun c -> c.c_name)
+    |> List.filter (fun c -> c.c_value <> 0)
+  in
+  if live_counters <> [] then begin
+    Format.fprintf ppf "@[<v>== counters ==@,";
+    List.iter
+      (fun c -> Format.fprintf ppf "  %-44s %12d@," c.c_name c.c_value)
+      live_counters;
+    Format.fprintf ppf "@]"
+  end;
+  let live_gauges =
+    sorted_of_tbl gauges (fun g -> g.g_name) |> List.filter (fun g -> g.g_set)
+  in
+  if live_gauges <> [] then begin
+    Format.fprintf ppf "@[<v>== gauges ==@,";
+    List.iter
+      (fun g -> Format.fprintf ppf "  %-44s %12d@," g.g_name g.g_value)
+      live_gauges;
+    Format.fprintf ppf "@]"
+  end;
+  let live_hists =
+    sorted_of_tbl histograms (fun h -> h.h_name)
+    |> List.filter (fun h -> h.h_len > 0)
+  in
+  if live_hists <> [] then begin
+    Format.fprintf ppf
+      "@[<v>== histograms ==@,  %-44s %8s %10s %10s %10s@," "name" "count"
+      "p50" "p95" "max";
+    List.iter
+      (fun h ->
+        Format.fprintf ppf "  %-44s %8d %10.4g %10.4g %10.4g@," h.h_name
+          h.h_len (quantile h 0.5) (quantile h 0.95) (histogram_max h))
+      live_hists;
+    Format.fprintf ppf "@]"
+  end;
+  Format.pp_print_flush ppf ()
+
+let histogram_summary_json h =
+  Json.Obj
+    [
+      ("count", Json.Int h.h_len);
+      ("mean", Json.Float (histogram_mean h));
+      ("p50", Json.Float (quantile h 0.5));
+      ("p95", Json.Float (quantile h 0.95));
+      ("max", Json.Float (histogram_max h));
+    ]
+
+let metrics_json () =
+  Json.Obj
+    [
+      ( "counters",
+        Json.Obj
+          (sorted_of_tbl counters (fun c -> c.c_name)
+          |> List.filter (fun c -> c.c_value <> 0)
+          |> List.map (fun c -> (c.c_name, Json.Int c.c_value))) );
+      ( "gauges",
+        Json.Obj
+          (sorted_of_tbl gauges (fun g -> g.g_name)
+          |> List.filter (fun g -> g.g_set)
+          |> List.map (fun g -> (g.g_name, Json.Int g.g_value))) );
+      ( "histograms",
+        Json.Obj
+          (sorted_of_tbl histograms (fun h -> h.h_name)
+          |> List.filter (fun h -> h.h_len > 0)
+          |> List.map (fun h -> (h.h_name, histogram_summary_json h))) );
+    ]
+
+let snapshot_json () =
+  let span_json s =
+    Json.Obj
+      [
+        ("name", Json.String s.si_name);
+        ("parent", Json.Int s.si_parent);
+        ("depth", Json.Int s.si_depth);
+        ("start_s", Json.Float s.si_start);
+        ("dur_s", Json.Float s.si_duration);
+        ( "attrs",
+          Json.Obj
+            (List.map
+               (fun (k, v) ->
+                 (k, match v with Int i -> Json.Int i | Str v -> Json.String v))
+               s.si_attrs) );
+      ]
+  in
+  match metrics_json () with
+  | Json.Obj fields ->
+      Json.Obj
+        (("schema", Json.String "rta-obs-snapshot/1")
+        :: fields
+        @ [ ("spans", Json.List (Array.to_list (spans ()) |> List.map span_json)) ])
+  | other -> other
+
+let write_snapshot path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      Json.to_channel oc (snapshot_json ());
+      output_char oc '\n')

@@ -1,6 +1,11 @@
 (* Event-driven simulator; see sim.mli for the semantics contract. *)
 
 open Rta_model
+module Obs = Rta_obs
+
+let c_events = Obs.counter "sim.events"
+let c_preemptions = Obs.counter "sim.preemptions"
+let g_heap_high_water = Obs.gauge "sim.heap.high_water"
 
 type instance_record = {
   instance : int;
@@ -82,6 +87,16 @@ let run ?release_horizon system ~horizon =
   let release_horizon = Option.value ~default:horizon release_horizon in
   if release_horizon > horizon then
     invalid_arg "Sim.run: release_horizon exceeds horizon";
+  let sp_run =
+    if Obs.enabled () then begin
+      let sp = Obs.span_begin "sim.run" in
+      Obs.span_int sp "horizon" horizon;
+      Obs.span_int sp "release_horizon" release_horizon;
+      sp
+    end
+    else Obs.no_span
+  in
+  let events_before = Obs.counter_value c_events in
   let n_procs = System.processor_count system in
   let n_jobs = System.job_count system in
   let procs =
@@ -98,7 +113,8 @@ let run ?release_horizon system ~horizon =
   let eseq = ref 0 in
   let push_event time rank event =
     incr eseq;
-    Heap.push events { time; rank; eseq = !eseq; event }
+    Heap.push events { time; rank; eseq = !eseq; event };
+    Obs.max_gauge g_heap_high_water (Heap.size events)
   in
   let seq = ref 0 in
   let next_seq () =
@@ -164,6 +180,7 @@ let run ?release_horizon system ~horizon =
     | Sched.Spp, Some r when incoming.prio < r.work.prio ->
         (* Put the current work back with its residual demand. *)
         record_service r.work r.resumed_at t;
+        Obs.incr c_preemptions;
         r.work.remaining <- r.work.remaining - (t - r.resumed_at);
         Heap.push ps.ready r.work;
         ps.current <- None;
@@ -211,6 +228,7 @@ let run ?release_horizon system ~horizon =
     match Heap.peek events with
     | Some q when q.time <= horizon ->
         ignore (Heap.pop events);
+        Obs.incr c_events;
         (match q.event with
         | Release w -> on_release q.time w
         | Complete { proc; gen } -> on_complete q.time proc gen);
@@ -240,6 +258,9 @@ let run ?release_horizon system ~horizon =
               (Array.of_list (List.rev !times)))
           completions.(j))
   in
+  if Obs.enabled () then
+    Obs.span_int sp_run "events" (Obs.counter_value c_events - events_before);
+  Obs.span_end sp_run;
   {
     horizon;
     per_job;
