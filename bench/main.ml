@@ -11,7 +11,9 @@
      RTA_SETS   job sets per data point (default 100; the paper used 1000)
      RTA_JOBS   jobs per set            (default 6)
      RTA_SEED   base random seed        (default 42)
-     RTA_SKIP_FIGURES / RTA_SKIP_MICRO  set to 1 to skip a section
+     RTA_BATCH_SYSTEMS  systems in the batch-throughput section (default 1000)
+     RTA_BATCH_JOBS     parallel worker count for that section  (default 8)
+     RTA_SKIP_FIGURES / RTA_SKIP_MICRO / RTA_SKIP_BATCH  set to 1 to skip
      RTA_BENCH_OUT  output path for the JSON baseline
                     (default BENCH_rta.json; empty string disables). *)
 
@@ -170,6 +172,105 @@ let micro () =
   print_newline ()
 
 (* ------------------------------------------------------------------ *)
+(* Batch service throughput                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* The Rta_service acceptance bar in one section: >= 1000 generated
+   systems (RTA_BATCH_SYSTEMS), ~20% exact duplicates for the memo cache,
+   byte-identical output across jobs=1 and jobs=RTA_BATCH_JOBS, and
+   throughput for the sequential, parallel-cold and parallel-hot cases. *)
+
+module Batch = Rta_service.Batch
+
+let batch_json = ref Rta_obs.Json.Null
+
+let batch_spec seed =
+  let config =
+    Rta_workload.Jobshop.default
+      ~stages:(2 + (seed mod 2))
+      ~jobs:(3 + (seed mod 3))
+      ~utilization:(0.3 +. (0.05 *. float_of_int (seed mod 5)))
+      ~arrival:
+        (if seed mod 5 = 0 then Rta_workload.Jobshop.Bursty_eq27
+         else Rta_workload.Jobshop.Periodic_eq25)
+      ~deadline:(Rta_workload.Jobshop.Multiple_of_period 2.0)
+      ~sched:
+        (match seed mod 3 with
+        | 0 -> Rta_model.Sched.Spp
+        | 1 -> Rta_model.Sched.Spnp
+        | _ -> Rta_model.Sched.Fcfs)
+  in
+  Rta_model.Parser.print
+    (Rta_workload.Jobshop.generate config ~rng:(Rta_workload.Rng.make seed))
+
+let batch () =
+  let n = env_int "RTA_BATCH_SYSTEMS" 1000 in
+  let par_jobs = max 2 (env_int "RTA_BATCH_JOBS" 8) in
+  let unique = max 1 (n * 4 / 5) in
+  Printf.printf
+    "=== Batch service (%d systems, %d unique, backend=%s) ===\n" n unique
+    Rta_service.Backend.name;
+  let requests =
+    Array.init n (fun i ->
+        Ok (Batch.request ~id:(string_of_int i) (batch_spec (i mod unique))))
+  in
+  let timed f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let render rs =
+    String.concat "\n" (Array.to_list (Array.map Batch.response_line rs))
+  in
+  let seq, seq_s = timed (fun () -> Batch.run ~jobs:1 requests) in
+  let cache = Rta_service.Cache.create () in
+  let par, par_s = timed (fun () -> Batch.run ~jobs:par_jobs ~cache requests) in
+  let hot, hot_s = timed (fun () -> Batch.run ~jobs:par_jobs ~cache requests) in
+  let deterministic = String.equal (render seq) (render par) in
+  let hot_consistent =
+    Array.for_all2
+      (fun (a : Batch.response) (b : Batch.response) ->
+        a.Batch.status = b.Batch.status)
+      par hot
+  in
+  let summary = Batch.summarize par in
+  let hot_summary = Batch.summarize hot in
+  let per_s seconds = if seconds > 0. then float_of_int n /. seconds else 0. in
+  let line label seconds =
+    Printf.printf "  %-26s %8.2fs  %10.0f systems/s\n" label seconds
+      (per_s seconds)
+  in
+  line "jobs=1, cold cache" seq_s;
+  line (Printf.sprintf "jobs=%d, cold cache" par_jobs) par_s;
+  line (Printf.sprintf "jobs=%d, hot cache" par_jobs) hot_s;
+  Printf.printf "  cold cache: %d hits / %d misses; hot cache: %d hits\n"
+    summary.Batch.cache_hits summary.Batch.cache_misses
+    hot_summary.Batch.cache_hits;
+  Printf.printf "  deterministic across worker counts: %b\n\n" deterministic;
+  if not deterministic then
+    prerr_endline "WARNING: batch output differs between jobs=1 and jobs=N";
+  batch_json :=
+    Json.Obj
+      [
+        ("systems", Json.Int n);
+        ("unique", Json.Int unique);
+        ("backend", Json.String Rta_service.Backend.name);
+        ("jobs_parallel", Json.Int par_jobs);
+        ("deterministic", Json.Bool deterministic);
+        ("hot_consistent", Json.Bool hot_consistent);
+        ("seq_seconds", Json.Float seq_s);
+        ("seq_systems_per_s", Json.Float (per_s seq_s));
+        ("par_seconds", Json.Float par_s);
+        ("par_systems_per_s", Json.Float (per_s par_s));
+        ("hot_seconds", Json.Float hot_s);
+        ("hot_systems_per_s", Json.Float (per_s hot_s));
+        ("cold_cache_hits", Json.Int summary.Batch.cache_hits);
+        ("cold_cache_misses", Json.Int summary.Batch.cache_misses);
+        ("hot_cache_hits", Json.Int hot_summary.Batch.cache_hits);
+        ("schedulable", Json.Int summary.Batch.schedulable);
+      ]
+
+(* ------------------------------------------------------------------ *)
 (* Instrumented single pass: component timings + curve-size metrics    *)
 (* ------------------------------------------------------------------ *)
 
@@ -237,6 +338,7 @@ let write_baseline path =
                    ])
                !micro_results) );
         ("component_seconds", Json.Obj component_seconds);
+        ("batch", !batch_json);
         ("metrics", metrics);
       ]
   in
@@ -251,6 +353,7 @@ let write_baseline path =
 let () =
   if not (env_flag "RTA_SKIP_FIGURES") then figures ();
   if not (env_flag "RTA_SKIP_MICRO") then micro ();
+  if not (env_flag "RTA_SKIP_BATCH") then batch ();
   match Sys.getenv_opt "RTA_BENCH_OUT" with
   | Some "" -> ()
   | Some path -> write_baseline path

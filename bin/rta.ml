@@ -292,19 +292,162 @@ let generate_cmd =
     let sched_conv = Arg.enum [ ("spp", Sched.Spp); ("spnp", Sched.Spnp); ("fcfs", Sched.Fcfs) ] in
     Arg.(value & opt sched_conv Sched.Spp & info [ "sched" ] ~docv:"POLICY" ~doc:"Scheduler on every processor.")
   in
-  let run () stages jobs utilization arrival sched seed =
+  let count_arg =
+    Arg.(value & opt int 1
+         & info [ "count" ] ~docv:"N"
+             ~doc:"Generate $(docv) systems with seeds seed, seed+1, ... ($(b,--ndjson) required for N > 1).")
+  in
+  let ndjson_arg =
+    Arg.(value & flag
+         & info [ "ndjson" ]
+             ~doc:"Emit each system as one $(b,rta batch) NDJSON request line instead of a description file.")
+  in
+  let run () stages jobs utilization arrival sched seed count ndjson =
+    if count < 1 then begin
+      Format.eprintf "error: --count must be at least 1@.";
+      exit 2
+    end;
+    if count > 1 && not ndjson then begin
+      Format.eprintf
+        "error: --count %d emits several systems; that only makes sense as \
+         NDJSON (add --ndjson)@."
+        count;
+      exit 2
+    end;
     let config =
       Rta_workload.Jobshop.default ~stages ~jobs ~utilization ~arrival
         ~deadline:(Rta_workload.Jobshop.Multiple_of_period 2.0) ~sched
     in
-    let system =
-      Rta_workload.Jobshop.generate config ~rng:(Rta_workload.Rng.make seed)
-    in
-    print_string (Parser.print system)
+    for i = 0 to count - 1 do
+      let system =
+        Rta_workload.Jobshop.generate config
+          ~rng:(Rta_workload.Rng.make (seed + i))
+      in
+      if ndjson then
+        print_endline
+          (Rta_obs.Json.to_string
+             (Rta_obs.Json.Obj
+                [
+                  ("id", Rta_obs.Json.String (Printf.sprintf "gen-%d" (seed + i)));
+                  ("spec", Rta_obs.Json.String (Parser.print system));
+                ]))
+      else print_string (Parser.print system)
+    done
   in
   Cmd.v
-    (Cmd.info "generate" ~doc:"Generate a random job shop (Section 5 workload) as a description file.")
-    Term.(const run $ obs_term $ stages_arg $ jobs_arg $ util_arg $ arrival_arg $ sched_arg $ seed_arg)
+    (Cmd.info "generate" ~doc:"Generate random job shops (Section 5 workload) as description files or NDJSON batch requests.")
+    Term.(const run $ obs_term $ stages_arg $ jobs_arg $ util_arg $ arrival_arg $ sched_arg $ seed_arg $ count_arg $ ndjson_arg)
+
+(* batch *)
+
+let batch_cmd =
+  let file_arg =
+    Arg.(value & pos 0 string "-"
+         & info [] ~docv:"FILE"
+             ~doc:"NDJSON request file, one JSON object per line ($(b,-) reads stdin).")
+  in
+  let jobs_arg =
+    let default =
+      match Option.bind (Sys.getenv_opt "RTA_JOBS") int_of_string_opt with
+      | Some j when j >= 1 -> j
+      | Some _ | None -> 1
+    in
+    Arg.(value & opt int default
+         & info [ "jobs"; "j" ] ~docv:"N"
+             ~doc:"Worker count (default: $(b,RTA_JOBS) or 1).  More than one worker runs on OCaml 5 domains; on 4.14 the pool degrades to sequential execution with identical output.")
+  in
+  let chunk_arg =
+    Arg.(value & opt int 512
+         & info [ "chunk" ] ~docv:"N"
+             ~doc:"Stream requests in chunks of $(docv) lines: results for a chunk are printed (in input order) before the next chunk is read.")
+  in
+  let estimator_arg =
+    let estimator_conv = Arg.enum [ ("direct", `Direct); ("sum", `Sum) ] in
+    Arg.(value & opt estimator_conv `Direct
+         & info [ "estimator" ] ~docv:"KIND"
+             ~doc:"Default end-to-end estimator for requests that do not set one.")
+  in
+  let deadline_arg =
+    Arg.(value & opt (some float) None
+         & info [ "deadline-ms" ] ~docv:"MS"
+             ~doc:"Default per-request deadline: requests not started within $(docv) milliseconds of their batch's submission are reported as timeouts.")
+  in
+  let run () file jobs chunk estimator auto_prio deadline_ms =
+    if jobs < 1 then begin
+      Format.eprintf "error: --jobs must be at least 1@.";
+      exit 2
+    end;
+    if chunk < 1 then begin
+      Format.eprintf "error: --chunk must be at least 1@.";
+      exit 2
+    end;
+    let ic =
+      if file = "-" then stdin
+      else
+        try open_in file
+        with Sys_error e ->
+          Format.eprintf "error: %s@." e;
+          exit 2
+    in
+    let defaults =
+      Rta_service.Batch.request ~auto_prio ~estimator
+        ?deadline_s:(Option.map (fun ms -> ms /. 1e3) deadline_ms)
+        ""
+    in
+    let cache = Rta_service.Cache.create () in
+    let started = Rta_obs.now () in
+    let summary = ref Rta_service.Batch.empty_summary in
+    let index_base = ref 0 in
+    let eof = ref false in
+    (* Blank lines are ignored (they carry no request and get no response). *)
+    let read_chunk () =
+      let rec go acc k =
+        if k = 0 then List.rev acc
+        else
+          match input_line ic with
+          | "" -> go acc k
+          | line ->
+              go (Rta_service.Batch.request_of_line ~defaults line :: acc) (k - 1)
+          | exception End_of_file ->
+              eof := true;
+              List.rev acc
+      in
+      Array.of_list (go [] chunk)
+    in
+    while not !eof do
+      let requests = read_chunk () in
+      if Array.length requests > 0 then begin
+        let responses =
+          Rta_service.Batch.run ~jobs ~index_base:!index_base ~cache requests
+        in
+        Array.iter
+          (fun r ->
+            print_endline (Rta_service.Batch.response_line r);
+            summary := Rta_service.Batch.add_response !summary r)
+          responses;
+        flush stdout;
+        index_base := !index_base + Array.length requests
+      end
+    done;
+    if file <> "-" then close_in ic;
+    let elapsed = Rta_obs.now () -. started in
+    let s = !summary in
+    Format.eprintf "batch: %a@." Rta_service.Batch.pp_summary s;
+    Format.eprintf "batch: %.2fs elapsed, %.0f systems/s (jobs=%d, backend=%s)@."
+      elapsed
+      (if elapsed > 0. then float_of_int s.Rta_service.Batch.total /. elapsed
+       else 0.)
+      jobs Rta_service.Backend.name;
+    if
+      s.Rta_service.Batch.invalid > 0
+      || s.Rta_service.Batch.failed > 0
+      || s.Rta_service.Batch.timed_out > 0
+    then exit 1
+  in
+  Cmd.v
+    (Cmd.info "batch"
+       ~doc:"Analyze a stream of NDJSON system specs on a worker pool with memoization; results come out as NDJSON in input order regardless of worker count.")
+    Term.(const run $ obs_term $ file_arg $ jobs_arg $ chunk_arg $ estimator_arg $ auto_prio_arg $ deadline_arg)
 
 (* envelope *)
 
@@ -452,4 +595,4 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group ~default info
-          [ analyze_cmd; simulate_cmd; baseline_cmd; generate_cmd; envelope_cmd; sensitivity_cmd; figures_cmd ]))
+          [ analyze_cmd; simulate_cmd; baseline_cmd; generate_cmd; batch_cmd; envelope_cmd; sensitivity_cmd; figures_cmd ]))

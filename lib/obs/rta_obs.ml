@@ -1,7 +1,13 @@
 (* Observability registry.  See rta_obs.mli for the cost-model contract:
    with the registry disabled every hook is one ref read + branch and must
    not allocate, so the disabled branches below return before touching
-   anything that could box or grow. *)
+   anything that could box or grow.
+
+   Thread/domain safety: counters and gauges are lock-free [Atomic]s;
+   histogram observations, the span store and the registration tables are
+   protected by mutexes.  The disabled path takes no lock.  On OCaml 4.14
+   [Mutex] comes from the compiler-bundled threads library; on 5.x it is
+   the stdlib one and the hooks are safe to call from any domain. *)
 
 module Json = struct
   type t =
@@ -67,6 +73,231 @@ module Json = struct
     Buffer.contents buf
 
   let to_channel oc v = output_string oc (to_string v)
+
+  (* ---------------------------------------------------------------- *)
+  (* Parser (recursive descent).  Strict JSON: one value per string,   *)
+  (* no trailing garbage.  Numbers without '.', 'e' or 'E' that fit in *)
+  (* an OCaml int parse as [Int], everything else as [Float].          *)
+  (* ---------------------------------------------------------------- *)
+
+  exception Fail of int * string
+
+  let fail pos fmt = Printf.ksprintf (fun m -> raise (Fail (pos, m))) fmt
+
+  let of_string s =
+    let n = String.length s in
+    let pos = ref 0 in
+    let peek () = if !pos < n then Some s.[!pos] else None in
+    let advance () = incr pos in
+    let skip_ws () =
+      while
+        !pos < n
+        && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+      do
+        advance ()
+      done
+    in
+    let expect c =
+      match peek () with
+      | Some c' when c' = c -> advance ()
+      | Some c' -> fail !pos "expected %C, found %C" c c'
+      | None -> fail !pos "expected %C, found end of input" c
+    in
+    let literal word value =
+      let l = String.length word in
+      if !pos + l <= n && String.sub s !pos l = word then begin
+        pos := !pos + l;
+        value
+      end
+      else fail !pos "invalid literal"
+    in
+    let hex4 () =
+      if !pos + 4 > n then fail !pos "truncated \\u escape";
+      let v = ref 0 in
+      for _ = 1 to 4 do
+        let d =
+          match s.[!pos] with
+          | '0' .. '9' as c -> Char.code c - Char.code '0'
+          | 'a' .. 'f' as c -> Char.code c - Char.code 'a' + 10
+          | 'A' .. 'F' as c -> Char.code c - Char.code 'A' + 10
+          | c -> fail !pos "invalid hex digit %C" c
+        in
+        v := (!v * 16) + d;
+        advance ()
+      done;
+      !v
+    in
+    let add_utf8 buf cp =
+      if cp < 0x80 then Buffer.add_char buf (Char.chr cp)
+      else if cp < 0x800 then begin
+        Buffer.add_char buf (Char.chr (0xC0 lor (cp lsr 6)));
+        Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+      end
+      else if cp < 0x10000 then begin
+        Buffer.add_char buf (Char.chr (0xE0 lor (cp lsr 12)));
+        Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+        Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+      end
+      else begin
+        Buffer.add_char buf (Char.chr (0xF0 lor (cp lsr 18)));
+        Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 12) land 0x3F)));
+        Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+        Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+      end
+    in
+    let parse_string () =
+      expect '"';
+      let buf = Buffer.create 16 in
+      let rec go () =
+        if !pos >= n then fail !pos "unterminated string";
+        match s.[!pos] with
+        | '"' -> advance ()
+        | '\\' ->
+            advance ();
+            (if !pos >= n then fail !pos "unterminated escape";
+             match s.[!pos] with
+             | '"' -> Buffer.add_char buf '"'; advance ()
+             | '\\' -> Buffer.add_char buf '\\'; advance ()
+             | '/' -> Buffer.add_char buf '/'; advance ()
+             | 'b' -> Buffer.add_char buf '\b'; advance ()
+             | 'f' -> Buffer.add_char buf '\012'; advance ()
+             | 'n' -> Buffer.add_char buf '\n'; advance ()
+             | 'r' -> Buffer.add_char buf '\r'; advance ()
+             | 't' -> Buffer.add_char buf '\t'; advance ()
+             | 'u' ->
+                 advance ();
+                 let cp = hex4 () in
+                 let cp =
+                   (* Surrogate pair: combine a high surrogate with the
+                      following \uXXXX low surrogate. *)
+                   if cp >= 0xD800 && cp <= 0xDBFF && !pos + 1 < n
+                      && s.[!pos] = '\\'
+                      && s.[!pos + 1] = 'u'
+                   then begin
+                     pos := !pos + 2;
+                     let lo = hex4 () in
+                     if lo >= 0xDC00 && lo <= 0xDFFF then
+                       0x10000 + (((cp - 0xD800) lsl 10) lor (lo - 0xDC00))
+                     else fail !pos "invalid low surrogate"
+                   end
+                   else cp
+                 in
+                 if cp >= 0xD800 && cp <= 0xDFFF then
+                   fail !pos "unpaired surrogate";
+                 add_utf8 buf cp
+             | c -> fail !pos "invalid escape \\%C" c);
+            go ()
+        | c when Char.code c < 0x20 -> fail !pos "unescaped control character"
+        | c ->
+            Buffer.add_char buf c;
+            advance ();
+            go ()
+      in
+      go ();
+      Buffer.contents buf
+    in
+    let parse_number () =
+      let start = !pos in
+      if peek () = Some '-' then advance ();
+      while
+        !pos < n
+        &&
+        match s.[!pos] with
+        | '0' .. '9' | '.' | 'e' | 'E' | '+' | '-' -> true
+        | _ -> false
+      do
+        advance ()
+      done;
+      let text = String.sub s start (!pos - start) in
+      let is_int =
+        (not (String.contains text '.'))
+        && (not (String.contains text 'e'))
+        && not (String.contains text 'E')
+      in
+      if is_int then
+        match int_of_string_opt text with
+        | Some i -> Int i
+        | None -> (
+            match float_of_string_opt text with
+            | Some f -> Float f
+            | None -> fail start "invalid number %S" text)
+      else
+        match float_of_string_opt text with
+        | Some f -> Float f
+        | None -> fail start "invalid number %S" text
+    in
+    let rec parse_value () =
+      skip_ws ();
+      match peek () with
+      | None -> fail !pos "unexpected end of input"
+      | Some 'n' -> literal "null" Null
+      | Some 't' -> literal "true" (Bool true)
+      | Some 'f' -> literal "false" (Bool false)
+      | Some '"' -> String (parse_string ())
+      | Some '[' ->
+          advance ();
+          skip_ws ();
+          if peek () = Some ']' then begin
+            advance ();
+            List []
+          end
+          else begin
+            let rec items acc =
+              let v = parse_value () in
+              skip_ws ();
+              match peek () with
+              | Some ',' ->
+                  advance ();
+                  items (v :: acc)
+              | Some ']' ->
+                  advance ();
+                  List.rev (v :: acc)
+              | _ -> fail !pos "expected ',' or ']'"
+            in
+            List (items [])
+          end
+      | Some '{' ->
+          advance ();
+          skip_ws ();
+          if peek () = Some '}' then begin
+            advance ();
+            Obj []
+          end
+          else begin
+            let member () =
+              skip_ws ();
+              let k = parse_string () in
+              skip_ws ();
+              expect ':';
+              let v = parse_value () in
+              (k, v)
+            in
+            let rec members acc =
+              let kv = member () in
+              skip_ws ();
+              match peek () with
+              | Some ',' ->
+                  advance ();
+                  members (kv :: acc)
+              | Some '}' ->
+                  advance ();
+                  List.rev (kv :: acc)
+              | _ -> fail !pos "expected ',' or '}'"
+            in
+            Obj (members [])
+          end
+      | Some ('-' | '0' .. '9') -> parse_number ()
+      | Some c -> fail !pos "unexpected character %C" c
+    in
+    match
+      let v = parse_value () in
+      skip_ws ();
+      if !pos <> n then fail !pos "trailing garbage after JSON value";
+      v
+    with
+    | v -> Ok v
+    | exception Fail (p, msg) ->
+        Error (Printf.sprintf "JSON parse error at offset %d: %s" p msg)
 end
 
 (* ------------------------------------------------------------------ *)
@@ -81,56 +312,70 @@ let clock = ref Unix.gettimeofday
 let set_clock f = clock := f
 let now () = !clock ()
 
+(* Registration tables and mutable stores share one lock.  Hooks on the
+   enabled path hold it only for short, bounded sections (a table lookup,
+   an array push); the disabled path never touches it. *)
+let state_mutex = Mutex.create ()
+
+let locked f =
+  Mutex.lock state_mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock state_mutex) f
+
 (* ------------------------------------------------------------------ *)
 (* Counters                                                            *)
 (* ------------------------------------------------------------------ *)
 
-type counter = { c_name : string; mutable c_value : int }
+type counter = { c_name : string; c_value : int Atomic.t }
 
 let counters : (string, counter) Hashtbl.t = Hashtbl.create 64
 
 let counter name =
-  match Hashtbl.find_opt counters name with
-  | Some c -> c
-  | None ->
-      let c = { c_name = name; c_value = 0 } in
-      Hashtbl.add counters name c;
-      c
+  locked (fun () ->
+      match Hashtbl.find_opt counters name with
+      | Some c -> c
+      | None ->
+          let c = { c_name = name; c_value = Atomic.make 0 } in
+          Hashtbl.add counters name c;
+          c)
 
-let incr c = if !enabled_flag then c.c_value <- c.c_value + 1
-let add c n = if !enabled_flag then c.c_value <- c.c_value + n
-let counter_value c = c.c_value
+let incr c = if !enabled_flag then ignore (Atomic.fetch_and_add c.c_value 1)
+let add c n = if !enabled_flag then ignore (Atomic.fetch_and_add c.c_value n)
+let counter_value c = Atomic.get c.c_value
 
 (* ------------------------------------------------------------------ *)
 (* Gauges                                                              *)
 (* ------------------------------------------------------------------ *)
 
-type gauge = { g_name : string; mutable g_value : int; mutable g_set : bool }
+(* A gauge is one atomic cell; [gauge_unset] marks "never set since the
+   last reset".  (Setting a gauge to [min_int] itself is indistinguishable
+   from unset; tick counts and sizes are never near that.) *)
+let gauge_unset = min_int
+
+type gauge = { g_name : string; g_cell : int Atomic.t }
 
 let gauges : (string, gauge) Hashtbl.t = Hashtbl.create 64
 
 let gauge name =
-  match Hashtbl.find_opt gauges name with
-  | Some g -> g
-  | None ->
-      let g = { g_name = name; g_value = 0; g_set = false } in
-      Hashtbl.add gauges name g;
-      g
+  locked (fun () ->
+      match Hashtbl.find_opt gauges name with
+      | Some g -> g
+      | None ->
+          let g = { g_name = name; g_cell = Atomic.make gauge_unset } in
+          Hashtbl.add gauges name g;
+          g)
 
-let set_gauge g v =
-  if !enabled_flag then begin
-    g.g_value <- v;
-    g.g_set <- true
-  end
+let set_gauge g v = if !enabled_flag then Atomic.set g.g_cell v
 
-let max_gauge g v =
-  if !enabled_flag then
-    if (not g.g_set) || v > g.g_value then begin
-      g.g_value <- v;
-      g.g_set <- true
-    end
+let rec max_gauge_loop cell v =
+  let cur = Atomic.get cell in
+  if cur = gauge_unset || v > cur then
+    if not (Atomic.compare_and_set cell cur v) then max_gauge_loop cell v
 
-let gauge_value g = if g.g_set then Some g.g_value else None
+let max_gauge g v = if !enabled_flag then max_gauge_loop g.g_cell v
+
+let gauge_value g =
+  let v = Atomic.get g.g_cell in
+  if v = gauge_unset then None else Some v
 
 (* ------------------------------------------------------------------ *)
 (* Histograms                                                          *)
@@ -145,12 +390,13 @@ type histogram = {
 let histograms : (string, histogram) Hashtbl.t = Hashtbl.create 64
 
 let histogram name =
-  match Hashtbl.find_opt histograms name with
-  | Some h -> h
-  | None ->
-      let h = { h_name = name; h_data = [||]; h_len = 0 } in
-      Hashtbl.add histograms name h;
-      h
+  locked (fun () ->
+      match Hashtbl.find_opt histograms name with
+      | Some h -> h
+      | None ->
+          let h = { h_name = name; h_data = [||]; h_len = 0 } in
+          Hashtbl.add histograms name h;
+          h)
 
 let observe_unsafe h v =
   if h.h_len >= Array.length h.h_data then begin
@@ -162,42 +408,45 @@ let observe_unsafe h v =
   h.h_data.(h.h_len) <- v;
   h.h_len <- h.h_len + 1
 
-let observe h v = if !enabled_flag then observe_unsafe h v
-let observe_int h n = if !enabled_flag then observe_unsafe h (float_of_int n)
+let observe_locked h v =
+  Mutex.lock state_mutex;
+  observe_unsafe h v;
+  Mutex.unlock state_mutex
+
+let observe h v = if !enabled_flag then observe_locked h v
+let observe_int h n = if !enabled_flag then observe_locked h (float_of_int n)
 let histogram_count h = h.h_len
 
 let sorted_copy h =
-  let a = Array.sub h.h_data 0 h.h_len in
+  let a = locked (fun () -> Array.sub h.h_data 0 h.h_len) in
   Array.sort compare a;
   a
 
 let quantile h q =
-  if h.h_len = 0 then nan
+  let a = sorted_copy h in
+  let len = Array.length a in
+  if len = 0 then nan
   else begin
-    let a = sorted_copy h in
     (* Nearest-rank: the ceil(q*n)-th smallest observation. *)
-    let rank = int_of_float (Float.ceil (q *. float_of_int h.h_len)) in
-    a.(min (h.h_len - 1) (max 0 (rank - 1)))
+    let rank = int_of_float (Float.ceil (q *. float_of_int len)) in
+    a.(min (len - 1) (max 0 (rank - 1)))
   end
 
 let histogram_max h =
-  if h.h_len = 0 then nan
-  else begin
-    let m = ref h.h_data.(0) in
-    for i = 1 to h.h_len - 1 do
-      if h.h_data.(i) > !m then m := h.h_data.(i)
-    done;
-    !m
-  end
+  let a = sorted_copy h in
+  let len = Array.length a in
+  if len = 0 then nan else a.(len - 1)
 
 let histogram_mean h =
-  if h.h_len = 0 then nan
+  let a = locked (fun () -> Array.sub h.h_data 0 h.h_len) in
+  let len = Array.length a in
+  if len = 0 then nan
   else begin
     let s = ref 0. in
-    for i = 0 to h.h_len - 1 do
-      s := !s +. h.h_data.(i)
+    for i = 0 to len - 1 do
+      s := !s +. a.(i)
     done;
-    !s /. float_of_int h.h_len
+    !s /. float_of_int len
   end
 
 (* ------------------------------------------------------------------ *)
@@ -221,6 +470,10 @@ type span_rec = {
 
 let span_store = ref ([||] : span_rec array)
 let span_len = ref 0
+
+(* The innermost open span.  With several domains recording concurrently
+   this is a single global: parent links are exact in sequential use and a
+   "most recently opened" heuristic under parallelism (see the .mli). *)
 let span_cur = ref (-1)
 let trace_oc : out_channel option ref = ref None
 let set_trace_channel oc = trace_oc := oc
@@ -238,6 +491,8 @@ let span_push r =
 let span_begin name =
   if not !enabled_flag then no_span
   else begin
+    let start = now () in
+    Mutex.lock state_mutex;
     let parent = !span_cur in
     let depth = if parent < 0 then 0 else !span_store.(parent).s_depth + 1 in
     let r =
@@ -245,7 +500,7 @@ let span_begin name =
         s_name = name;
         s_parent = parent;
         s_depth = depth;
-        s_start = now ();
+        s_start = start;
         s_stop = -1.;
         s_attrs = [];
       }
@@ -253,6 +508,7 @@ let span_begin name =
     let idx = !span_len in
     span_push r;
     span_cur := idx;
+    Mutex.unlock state_mutex;
     idx
   end
 
@@ -263,44 +519,66 @@ let attrs_json attrs =
          (k, match v with Int i -> Json.Int i | Str s -> Json.String s))
        attrs)
 
+(* Separate lock so a slow trace sink never blocks metric hooks, while
+   concurrent span_ends still emit whole lines. *)
+let trace_mutex = Mutex.create ()
+
 let emit_trace r =
   match !trace_oc with
   | None -> ()
   | Some oc ->
-      Json.to_channel oc
-        (Json.Obj
-           [
-             ("type", Json.String "span");
-             ("name", Json.String r.s_name);
-             ("start_s", Json.Float r.s_start);
-             ("dur_s", Json.Float (r.s_stop -. r.s_start));
-             ("depth", Json.Int r.s_depth);
-             ("parent", Json.Int r.s_parent);
-             ("attrs", attrs_json r.s_attrs);
-           ]);
-      output_char oc '\n'
+      let line =
+        Json.to_string
+          (Json.Obj
+             [
+               ("type", Json.String "span");
+               ("name", Json.String r.s_name);
+               ("start_s", Json.Float r.s_start);
+               ("dur_s", Json.Float (r.s_stop -. r.s_start));
+               ("depth", Json.Int r.s_depth);
+               ("parent", Json.Int r.s_parent);
+               ("attrs", attrs_json r.s_attrs);
+             ])
+      in
+      Mutex.lock trace_mutex;
+      output_string oc line;
+      output_char oc '\n';
+      Mutex.unlock trace_mutex
 
 let span_end t =
-  if t >= 0 && t < !span_len then begin
-    let r = !span_store.(t) in
-    if r.s_stop < 0. then begin
-      r.s_stop <- now ();
-      span_cur := r.s_parent;
-      emit_trace r
-    end
+  if t >= 0 then begin
+    let stop = now () in
+    let closed =
+      locked (fun () ->
+          if t < !span_len then begin
+            let r = !span_store.(t) in
+            if r.s_stop < 0. then begin
+              r.s_stop <- stop;
+              span_cur := r.s_parent;
+              Some r
+            end
+            else None
+          end
+          else None)
+    in
+    match closed with Some r -> emit_trace r | None -> ()
   end
 
 let span_int t k v =
-  if t >= 0 && t < !span_len then begin
-    let r = !span_store.(t) in
-    r.s_attrs <- (k, Int v) :: r.s_attrs
-  end
+  if t >= 0 then
+    locked (fun () ->
+        if t < !span_len then begin
+          let r = !span_store.(t) in
+          r.s_attrs <- (k, Int v) :: r.s_attrs
+        end)
 
 let span_str t k v =
-  if t >= 0 && t < !span_len then begin
-    let r = !span_store.(t) in
-    r.s_attrs <- (k, Str v) :: r.s_attrs
-  end
+  if t >= 0 then
+    locked (fun () ->
+        if t < !span_len then begin
+          let r = !span_store.(t) in
+          r.s_attrs <- (k, Str v) :: r.s_attrs
+        end)
 
 let with_span name f =
   let t = span_begin name in
@@ -316,38 +594,36 @@ type span_info = {
 }
 
 let spans () =
-  Array.init !span_len (fun i ->
-      let r = !span_store.(i) in
-      {
-        si_name = r.s_name;
-        si_parent = r.s_parent;
-        si_depth = r.s_depth;
-        si_start = r.s_start;
-        si_duration = (if r.s_stop < 0. then nan else r.s_stop -. r.s_start);
-        si_attrs = List.rev r.s_attrs;
-      })
+  locked (fun () ->
+      Array.init !span_len (fun i ->
+          let r = !span_store.(i) in
+          {
+            si_name = r.s_name;
+            si_parent = r.s_parent;
+            si_depth = r.s_depth;
+            si_start = r.s_start;
+            si_duration = (if r.s_stop < 0. then nan else r.s_stop -. r.s_start);
+            si_attrs = List.rev r.s_attrs;
+          }))
 
 (* ------------------------------------------------------------------ *)
 (* Reset                                                               *)
 (* ------------------------------------------------------------------ *)
 
 let reset () =
-  Hashtbl.iter (fun _ c -> c.c_value <- 0) counters;
-  Hashtbl.iter
-    (fun _ g ->
-      g.g_value <- 0;
-      g.g_set <- false)
-    gauges;
-  Hashtbl.iter (fun _ h -> h.h_len <- 0) histograms;
-  span_len := 0;
-  span_cur := -1
+  locked (fun () ->
+      Hashtbl.iter (fun _ c -> Atomic.set c.c_value 0) counters;
+      Hashtbl.iter (fun _ g -> Atomic.set g.g_cell gauge_unset) gauges;
+      Hashtbl.iter (fun _ h -> h.h_len <- 0) histograms;
+      span_len := 0;
+      span_cur := -1)
 
 (* ------------------------------------------------------------------ *)
 (* Sinks                                                               *)
 (* ------------------------------------------------------------------ *)
 
 let sorted_of_tbl tbl name_of =
-  Hashtbl.fold (fun _ v acc -> v :: acc) tbl []
+  locked (fun () -> Hashtbl.fold (fun _ v acc -> v :: acc) tbl [])
   |> List.sort (fun a b -> compare (name_of a) (name_of b))
 
 let pp_duration ppf seconds =
@@ -382,22 +658,26 @@ let report ppf () =
   end;
   let live_counters =
     sorted_of_tbl counters (fun c -> c.c_name)
-    |> List.filter (fun c -> c.c_value <> 0)
+    |> List.filter (fun c -> counter_value c <> 0)
   in
   if live_counters <> [] then begin
     Format.fprintf ppf "@[<v>== counters ==@,";
     List.iter
-      (fun c -> Format.fprintf ppf "  %-44s %12d@," c.c_name c.c_value)
+      (fun c ->
+        Format.fprintf ppf "  %-44s %12d@," c.c_name (counter_value c))
       live_counters;
     Format.fprintf ppf "@]"
   end;
   let live_gauges =
-    sorted_of_tbl gauges (fun g -> g.g_name) |> List.filter (fun g -> g.g_set)
+    sorted_of_tbl gauges (fun g -> g.g_name)
+    |> List.filter (fun g -> gauge_value g <> None)
   in
   if live_gauges <> [] then begin
     Format.fprintf ppf "@[<v>== gauges ==@,";
     List.iter
-      (fun g -> Format.fprintf ppf "  %-44s %12d@," g.g_name g.g_value)
+      (fun g ->
+        Format.fprintf ppf "  %-44s %12d@," g.g_name
+          (Option.value ~default:0 (gauge_value g)))
       live_gauges;
     Format.fprintf ppf "@]"
   end;
@@ -434,13 +714,15 @@ let metrics_json () =
       ( "counters",
         Json.Obj
           (sorted_of_tbl counters (fun c -> c.c_name)
-          |> List.filter (fun c -> c.c_value <> 0)
-          |> List.map (fun c -> (c.c_name, Json.Int c.c_value))) );
+          |> List.filter (fun c -> counter_value c <> 0)
+          |> List.map (fun c -> (c.c_name, Json.Int (counter_value c)))) );
       ( "gauges",
         Json.Obj
           (sorted_of_tbl gauges (fun g -> g.g_name)
-          |> List.filter (fun g -> g.g_set)
-          |> List.map (fun g -> (g.g_name, Json.Int g.g_value))) );
+          |> List.filter_map (fun g ->
+                 match gauge_value g with
+                 | Some v -> Some (g.g_name, Json.Int v)
+                 | None -> None)) );
       ( "histograms",
         Json.Obj
           (sorted_of_tbl histograms (fun h -> h.h_name)

@@ -16,8 +16,19 @@
     (formatted span names, curve sizes read through fresh arrays) must be
     guarded by the caller with [if Rta_obs.enabled () then ...].
 
-    The only dependency is the compiler-bundled [unix] library, used for
-    the default wall clock; the clock is pluggable via {!set_clock}. *)
+    {b Thread/domain safety.}  Hooks may be called concurrently from
+    several threads or (on OCaml 5) domains: counters and gauges are
+    lock-free atomics, histogram observations and the span store are
+    mutex-protected, so concurrent use never loses increments or corrupts
+    memory.  Span {e parentage} is exact in sequential use; under
+    parallelism a new span's parent is whichever span was most recently
+    opened anywhere (a single global "current span"), so concurrent span
+    trees are flattened heuristically rather than per-domain.  The
+    disabled path takes no lock.
+
+    The only dependencies are the compiler-bundled [unix] and [threads]
+    libraries, used for the default wall clock and the locks; the clock is
+    pluggable via {!set_clock}. *)
 
 (** {1 Minimal JSON} *)
 
@@ -35,6 +46,12 @@ module Json : sig
   (** Compact, valid JSON.  Non-finite floats are emitted as [null]. *)
 
   val to_channel : out_channel -> t -> unit
+
+  val of_string : string -> (t, string) result
+  (** Parse one strict JSON value (no trailing garbage).  Numbers without
+      a fraction or exponent that fit in an OCaml [int] parse as [Int],
+      everything else as [Float]; [\u] escapes (including surrogate
+      pairs) decode to UTF-8.  Errors carry the byte offset. *)
 end
 
 (** {1 Global switch} *)

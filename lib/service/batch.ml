@@ -1,0 +1,401 @@
+open Rta_model
+module Json = Rta_obs.Json
+
+type estimator = [ `Direct | `Sum ]
+
+type request = {
+  id : string option;
+  spec : string;
+  auto_prio : bool;
+  estimator : estimator;
+  release_horizon : int option;
+  horizon : int option;
+  deadline_s : float option;
+}
+
+let request ?id ?(auto_prio = false) ?(estimator = `Direct) ?release_horizon
+    ?horizon ?deadline_s spec =
+  { id; spec; auto_prio; estimator; release_horizon; horizon; deadline_s }
+
+type verdict = { job_name : string; bound : int option }
+
+type analysis = {
+  method_used : [ `Exact | `Approximate | `Fixpoint ];
+  schedulable : bool;
+  verdicts : verdict array;
+  release_horizon : int;
+  horizon : int;
+}
+
+type status =
+  | Analyzed of analysis
+  | Invalid of string
+  | Timed_out
+  | Failed of string
+
+type response = {
+  index : int;
+  id : string option;
+  cache : [ `Hit | `Miss | `Uncached ];
+  status : status;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Request decoding (one NDJSON object per line)                       *)
+(* ------------------------------------------------------------------ *)
+
+let request_of_json ?(defaults = request "") json =
+  let ( let* ) = Result.bind in
+  match json with
+  | Json.Obj fields ->
+      let str_field name =
+        match List.assoc_opt name fields with
+        | None -> Ok None
+        | Some (Json.String s) -> Ok (Some s)
+        | Some _ -> Error (Printf.sprintf "%S must be a string" name)
+      in
+      let pos_int_field name =
+        match List.assoc_opt name fields with
+        | None -> Ok None
+        | Some (Json.Int i) when i > 0 -> Ok (Some i)
+        | Some _ -> Error (Printf.sprintf "%S must be a positive integer" name)
+      in
+      let* spec =
+        match List.assoc_opt "spec" fields with
+        | Some (Json.String s) -> Ok s
+        | Some _ -> Error "\"spec\" must be a string"
+        | None -> Error "missing \"spec\" field"
+      in
+      let* id =
+        match List.assoc_opt "id" fields with
+        | None -> Ok defaults.id
+        | Some (Json.String s) -> Ok (Some s)
+        | Some (Json.Int i) -> Ok (Some (string_of_int i))
+        | Some _ -> Error "\"id\" must be a string or an integer"
+      in
+      let* auto_prio =
+        match List.assoc_opt "auto_prio" fields with
+        | None -> Ok defaults.auto_prio
+        | Some (Json.Bool b) -> Ok b
+        | Some _ -> Error "\"auto_prio\" must be a boolean"
+      in
+      let* estimator =
+        let* s = str_field "estimator" in
+        match s with
+        | None -> Ok defaults.estimator
+        | Some "direct" -> Ok `Direct
+        | Some "sum" -> Ok `Sum
+        | Some other ->
+            Error
+              (Printf.sprintf
+                 "unknown estimator %S (expected \"direct\" or \"sum\")" other)
+      in
+      let* horizon = pos_int_field "horizon" in
+      let horizon = match horizon with None -> defaults.horizon | h -> h in
+      let* release_horizon = pos_int_field "release_horizon" in
+      let release_horizon =
+        match release_horizon with None -> defaults.release_horizon | h -> h
+      in
+      let* deadline_s =
+        match List.assoc_opt "deadline_ms" fields with
+        | None -> Ok defaults.deadline_s
+        | Some (Json.Int ms) when ms >= 0 -> Ok (Some (float_of_int ms /. 1e3))
+        | Some (Json.Float ms) when ms >= 0. -> Ok (Some (ms /. 1e3))
+        | Some _ -> Error "\"deadline_ms\" must be a non-negative number"
+      in
+      Ok { id; spec; auto_prio; estimator; release_horizon; horizon; deadline_s }
+  | _ -> Error "request line must be a JSON object"
+
+let request_of_line ?defaults line =
+  match Json.of_string line with
+  | Error e -> Error e
+  | Ok json -> request_of_json ?defaults json
+
+(* ------------------------------------------------------------------ *)
+(* Metrics                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let requests_c = Rta_obs.counter "service.requests"
+let hits_c = Rta_obs.counter "service.cache.hits"
+let misses_c = Rta_obs.counter "service.cache.misses"
+let invalid_c = Rta_obs.counter "service.invalid"
+let timeout_c = Rta_obs.counter "service.timeouts"
+let failed_c = Rta_obs.counter "service.failed"
+let queue_depth_g = Rta_obs.gauge "service.queue.depth"
+let queue_hw_g = Rta_obs.gauge "service.queue.high_water"
+let request_h = Rta_obs.histogram "service.request.seconds"
+
+(* ------------------------------------------------------------------ *)
+(* Batch execution                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Same defaulting as the CLI's analyze command, so `rta batch` and
+   N separate `rta analyze` runs resolve identical horizons. *)
+let resolve_horizons system ~release_horizon ~horizon =
+  let suggested_release, suggested =
+    Rta_workload.Jobshop.suggested_horizons system
+  in
+  let release_horizon = Option.value ~default:suggested_release release_horizon in
+  let horizon = Option.value ~default:(max suggested (2 * release_horizon)) horizon in
+  (release_horizon, horizon)
+
+type prepared =
+  | P_invalid of string
+  | P_ready of {
+      req : request;
+      system : System.t;
+      release_horizon : int;
+      horizon : int;
+      key : Key.t;
+    }
+
+let prepare = function
+  | Error e -> P_invalid e
+  | Ok req -> (
+      match Parser.parse req.spec with
+      | Error e -> P_invalid (Printf.sprintf "spec: %s" e)
+      | Ok system -> (
+          match
+            if not req.auto_prio then Ok system
+            else
+              let jobs =
+                Array.init (System.job_count system) (System.job system)
+                |> Priority.deadline_monotonic
+              in
+              let schedulers =
+                Array.init (System.processor_count system)
+                  (System.scheduler_of system)
+              in
+              System.make ~schedulers ~jobs
+          with
+          | Error e -> P_invalid (Printf.sprintf "auto_prio: %s" e)
+          | Ok system ->
+              let release_horizon, horizon =
+                resolve_horizons system ~release_horizon:req.release_horizon
+                  ~horizon:req.horizon
+              in
+              P_ready
+                {
+                  req;
+                  system;
+                  release_horizon;
+                  horizon;
+                  key =
+                    Key.of_system ~estimator:req.estimator ~release_horizon
+                      ~horizon system;
+                }))
+
+let analyze_ready ~system ~estimator ~release_horizon ~horizon =
+  let report = Rta_core.Analysis.run ~estimator ~release_horizon ~horizon system in
+  {
+    method_used = report.Rta_core.Analysis.method_used;
+    schedulable = report.Rta_core.Analysis.schedulable;
+    verdicts =
+      Array.mapi
+        (fun j v ->
+          {
+            job_name = (System.job system j).System.name;
+            bound =
+              (match v with
+              | Rta_core.Analysis.Bounded r -> Some r
+              | Rta_core.Analysis.Unbounded -> None);
+          })
+        report.Rta_core.Analysis.per_job;
+    release_horizon;
+    horizon;
+  }
+
+let method_tag = function
+  | `Exact -> "exact"
+  | `Approximate -> "approximate"
+  | `Fixpoint -> "fixpoint"
+
+let run ?(jobs = 1) ?(index_base = 0) ?cache requests =
+  let cache = match cache with Some c -> c | None -> Cache.create () in
+  let n = Array.length requests in
+  let prepared = Array.map prepare requests in
+  (* Deterministic cache labels: a request is a "hit" iff its key was
+     completed in the cache before this batch started, or an earlier
+     request of this batch carries the same key.  This depends only on the
+     input order, never on worker scheduling, so batch output is
+     byte-identical for every worker count. *)
+  let seen = Hashtbl.create (2 * n) in
+  let labels =
+    Array.map
+      (function
+        | P_invalid _ -> `Uncached
+        | P_ready { key; _ } ->
+            let key = Key.to_hex key in
+            if Cache.mem cache key || Hashtbl.mem seen key then `Hit
+            else begin
+              Hashtbl.add seen key ();
+              `Miss
+            end)
+      prepared
+  in
+  let statuses = Array.make n Timed_out in
+  let started = Rta_obs.now () in
+  let remaining = Atomic.make 0 in
+  let task i =
+    match prepared.(i) with
+    | P_invalid e -> statuses.(i) <- Invalid e
+    | P_ready { req; system; release_horizon; horizon; key } ->
+        let sp = Rta_obs.span_begin "service.request" in
+        if Rta_obs.enabled () then begin
+          Rta_obs.span_int sp "index" (index_base + i);
+          Rta_obs.span_str sp "key" (Key.to_hex key)
+        end;
+        let t0 = Rta_obs.now () in
+        let deadline_hit =
+          match req.deadline_s with
+          | Some d -> Rta_obs.now () -. started > d
+          | None -> false
+        in
+        let status =
+          if deadline_hit then Timed_out
+          else
+            match
+              Cache.find_or_compute cache ~key:(Key.to_hex key) (fun () ->
+                  analyze_ready ~system ~estimator:req.estimator
+                    ~release_horizon ~horizon)
+            with
+            | `Hit a | `Miss a -> Analyzed a
+            | exception e -> Failed (Printexc.to_string e)
+        in
+        statuses.(i) <- status;
+        if Rta_obs.enabled () then begin
+          Rta_obs.observe request_h (Rta_obs.now () -. t0);
+          Rta_obs.span_str sp "status"
+            (match status with
+            | Analyzed a -> if a.schedulable then "ok" else "unschedulable"
+            | Invalid _ -> "invalid"
+            | Timed_out -> "timeout"
+            | Failed _ -> "failed");
+          Rta_obs.set_gauge queue_depth_g (Atomic.fetch_and_add remaining (-1) - 1)
+        end;
+        Rta_obs.span_end sp
+  in
+  let tasks = Array.init n (fun i () -> task i) in
+  if Rta_obs.enabled () then begin
+    Atomic.set remaining n;
+    Rta_obs.set_gauge queue_depth_g n;
+    Rta_obs.max_gauge queue_hw_g n
+  end;
+  Backend.run ~jobs tasks;
+  if Rta_obs.enabled () then begin
+    Rta_obs.add requests_c n;
+    Array.iteri
+      (fun i status ->
+        (match labels.(i) with
+        | `Hit -> Rta_obs.incr hits_c
+        | `Miss -> Rta_obs.incr misses_c
+        | `Uncached -> ());
+        match status with
+        | Analyzed _ -> ()
+        | Invalid _ -> Rta_obs.incr invalid_c
+        | Timed_out -> Rta_obs.incr timeout_c
+        | Failed _ -> Rta_obs.incr failed_c)
+      statuses
+  end;
+  Array.init n (fun i ->
+      let id = match requests.(i) with Ok r -> r.id | Error _ -> None in
+      { index = index_base + i; id; cache = labels.(i); status = statuses.(i) })
+
+(* ------------------------------------------------------------------ *)
+(* Response encoding                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let response_json r =
+  let id = match r.id with Some id -> [ ("id", Json.String id) ] | None -> [] in
+  let base = ("index", Json.Int r.index) :: id in
+  let fields =
+    match r.status with
+    | Analyzed a ->
+        base
+        @ [
+            ("status", Json.String "ok");
+            ( "cache",
+              Json.String
+                (match r.cache with
+                | `Hit -> "hit"
+                | `Miss -> "miss"
+                | `Uncached -> "none") );
+            ("method", Json.String (method_tag a.method_used));
+            ("schedulable", Json.Bool a.schedulable);
+            ("release_horizon", Json.Int a.release_horizon);
+            ("horizon", Json.Int a.horizon);
+            ( "per_job",
+              Json.List
+                (Array.to_list a.verdicts
+                |> List.map (fun v ->
+                       Json.Obj
+                         [
+                           ("name", Json.String v.job_name);
+                           ( "bound_ticks",
+                             match v.bound with
+                             | Some b -> Json.Int b
+                             | None -> Json.Null );
+                         ])) );
+          ]
+    | Invalid e -> base @ [ ("status", Json.String "invalid"); ("error", Json.String e) ]
+    | Timed_out -> base @ [ ("status", Json.String "timeout") ]
+    | Failed e -> base @ [ ("status", Json.String "failed"); ("error", Json.String e) ]
+  in
+  Json.Obj fields
+
+let response_line r = Json.to_string (response_json r)
+
+(* ------------------------------------------------------------------ *)
+(* Summaries                                                           *)
+(* ------------------------------------------------------------------ *)
+
+type summary = {
+  total : int;
+  analyzed : int;
+  schedulable : int;
+  invalid : int;
+  timed_out : int;
+  failed : int;
+  cache_hits : int;
+  cache_misses : int;
+}
+
+let empty_summary =
+  {
+    total = 0;
+    analyzed = 0;
+    schedulable = 0;
+    invalid = 0;
+    timed_out = 0;
+    failed = 0;
+    cache_hits = 0;
+    cache_misses = 0;
+  }
+
+let add_response s r =
+  let s = { s with total = s.total + 1 } in
+  let s =
+    match r.cache with
+    | `Hit -> { s with cache_hits = s.cache_hits + 1 }
+    | `Miss -> { s with cache_misses = s.cache_misses + 1 }
+    | `Uncached -> s
+  in
+  match r.status with
+  | Analyzed a ->
+      {
+        s with
+        analyzed = s.analyzed + 1;
+        schedulable = (s.schedulable + if a.schedulable then 1 else 0);
+      }
+  | Invalid _ -> { s with invalid = s.invalid + 1 }
+  | Timed_out -> { s with timed_out = s.timed_out + 1 }
+  | Failed _ -> { s with failed = s.failed + 1 }
+
+let summarize responses = Array.fold_left add_response empty_summary responses
+
+let pp_summary ppf s =
+  Format.fprintf ppf
+    "%d requests: %d analyzed (%d schedulable), %d invalid, %d timeout, %d \
+     failed; cache %d hits / %d misses"
+    s.total s.analyzed s.schedulable s.invalid s.timed_out s.failed
+    s.cache_hits s.cache_misses

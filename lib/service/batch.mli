@@ -1,0 +1,125 @@
+(** Throughput-oriented batch front end over the analyzer.
+
+    A batch is an ordered array of requests (usually decoded from NDJSON,
+    one JSON object per line).  {!run} analyzes them on a worker pool
+    ({!Backend}: domains on OCaml 5, sequential below), memoizing through
+    a shared {!Cache} keyed by {!Key} so identical systems are analyzed
+    once, and returns one response per request {e in input order}.
+
+    {b Determinism.}  For requests without deadlines, the response array —
+    including each response's [cache] label — is a pure function of the
+    request array and the cache's pre-batch contents: worker count and
+    scheduling never change a byte of the rendered output.  Cache labels
+    are assigned positionally (first occurrence of a key in the batch is
+    the [`Miss], later ones are [`Hit]s) rather than read back from the
+    racy runtime state.
+
+    {b Failure isolation.}  A request whose spec does not parse yields
+    [Invalid]; one whose analysis raises yields [Failed]; one whose
+    deadline expired before a worker picked it up yields [Timed_out].
+    None of these affect the other requests of the batch, and failures
+    are never cached. *)
+
+type estimator = [ `Direct | `Sum ]
+
+type request = {
+  id : string option;  (** echoed verbatim in the response *)
+  spec : string;  (** textual system description ({!Rta_model.Parser}) *)
+  auto_prio : bool;  (** apply the Eq. 24 deadline-monotonic assignment *)
+  estimator : estimator;
+  release_horizon : int option;  (** ticks; derived from the periods if absent *)
+  horizon : int option;  (** ticks; derived if absent *)
+  deadline_s : float option;
+      (** drop the request ([Timed_out]) if a worker has not started it
+          within this many seconds of batch submission *)
+}
+
+val request :
+  ?id:string ->
+  ?auto_prio:bool ->
+  ?estimator:estimator ->
+  ?release_horizon:int ->
+  ?horizon:int ->
+  ?deadline_s:float ->
+  string ->
+  request
+(** [request spec] with defaults: no id, no auto-prio, [`Direct], derived
+    horizons, no deadline. *)
+
+val request_of_json :
+  ?defaults:request -> Rta_obs.Json.t -> (request, string) result
+(** Decode [{"spec": "...", ...}].  Recognized fields: [spec] (required),
+    [id] (string or int), [auto_prio] (bool), [estimator] ("direct" |
+    "sum"), [horizon] and [release_horizon] (positive int ticks),
+    [deadline_ms] (non-negative number).  Unknown fields are ignored.
+    Absent fields default to [defaults] (itself defaulting to
+    [request ""]). *)
+
+val request_of_line : ?defaults:request -> string -> (request, string) result
+(** {!request_of_json} over one parsed NDJSON line. *)
+
+type verdict = { job_name : string; bound : int option  (** ticks; [None] = unbounded *) }
+
+type analysis = {
+  method_used : [ `Exact | `Approximate | `Fixpoint ];
+  schedulable : bool;
+  verdicts : verdict array;
+  release_horizon : int;  (** as resolved for the analysis *)
+  horizon : int;
+}
+
+type status =
+  | Analyzed of analysis
+  | Invalid of string  (** request or spec did not parse / validate *)
+  | Timed_out
+  | Failed of string  (** the analysis raised; only this request fails *)
+
+type response = {
+  index : int;  (** global request index (input order) *)
+  id : string option;
+  cache : [ `Hit | `Miss | `Uncached ];  (** deterministic label; [`Uncached] for [Invalid] *)
+  status : status;
+}
+
+val resolve_horizons :
+  Rta_model.System.t ->
+  release_horizon:int option ->
+  horizon:int option ->
+  int * int
+(** The defaulting rule shared with [rta analyze]: suggested horizons from
+    the periods, [horizon >= 2 * release_horizon]. *)
+
+val run :
+  ?jobs:int ->
+  ?index_base:int ->
+  ?cache:analysis Cache.t ->
+  (request, string) result array ->
+  response array
+(** Analyze a batch.  [Error] elements (undecodable lines) become
+    [Invalid] responses so one bad line never aborts a batch.  [jobs]
+    (default 1) sizes the worker pool; [index_base] (default 0) offsets
+    {!response.index} for chunked streaming; [cache] (default: fresh)
+    carries memoized results across batches.  Wires
+    [service.requests], [service.cache.hits]/[.misses],
+    [service.invalid]/[.timeouts]/[.failed], the [service.queue.depth]
+    gauge and per-request [service.request] spans into {!Rta_obs}. *)
+
+val response_json : response -> Rta_obs.Json.t
+val response_line : response -> string
+(** One compact NDJSON line (no trailing newline). *)
+
+type summary = {
+  total : int;
+  analyzed : int;
+  schedulable : int;
+  invalid : int;
+  timed_out : int;
+  failed : int;
+  cache_hits : int;
+  cache_misses : int;
+}
+
+val empty_summary : summary
+val add_response : summary -> response -> summary
+val summarize : response array -> summary
+val pp_summary : Format.formatter -> summary -> unit

@@ -1,0 +1,92 @@
+type 'a entry = Done of 'a | Pending
+
+type 'a t = {
+  mutex : Mutex.t;
+  cond : Condition.t;
+  tbl : (string, 'a entry) Hashtbl.t;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create () =
+  {
+    mutex = Mutex.create ();
+    cond = Condition.create ();
+    tbl = Hashtbl.create 256;
+    hits = 0;
+    misses = 0;
+  }
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let length t =
+  locked t (fun () ->
+      Hashtbl.fold
+        (fun _ e acc -> match e with Done _ -> acc + 1 | Pending -> acc)
+        t.tbl 0)
+
+let mem t key =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.tbl key with
+      | Some (Done _) -> true
+      | Some Pending | None -> false)
+
+let find t key =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.tbl key with
+      | Some (Done v) -> Some v
+      | Some Pending | None -> None)
+
+let stats t = locked t (fun () -> (t.hits, t.misses))
+
+let clear t =
+  locked t (fun () ->
+      (* Keep Pending markers: an in-flight computation must still find its
+         marker to replace.  Only completed results are dropped. *)
+      let pending =
+        Hashtbl.fold
+          (fun k e acc -> match e with Pending -> k :: acc | Done _ -> acc)
+          t.tbl []
+      in
+      Hashtbl.reset t.tbl;
+      List.iter (fun k -> Hashtbl.replace t.tbl k Pending) pending;
+      t.hits <- 0;
+      t.misses <- 0)
+
+let find_or_compute t ~key f =
+  Mutex.lock t.mutex;
+  let rec decide () =
+    match Hashtbl.find_opt t.tbl key with
+    | Some (Done v) ->
+        t.hits <- t.hits + 1;
+        Mutex.unlock t.mutex;
+        `Hit v
+    | Some Pending ->
+        (* Another caller is computing this key right now: wait for it
+           instead of duplicating the work (in-flight deduplication). *)
+        Condition.wait t.cond t.mutex;
+        decide ()
+    | None ->
+        Hashtbl.replace t.tbl key Pending;
+        t.misses <- t.misses + 1;
+        Mutex.unlock t.mutex;
+        (match f () with
+        | v ->
+            Mutex.lock t.mutex;
+            Hashtbl.replace t.tbl key (Done v);
+            Condition.broadcast t.cond;
+            Mutex.unlock t.mutex;
+            `Miss v
+        | exception e ->
+            (* Do not poison the cache: drop the marker so a later caller
+               retries, wake any waiter, and let the failure propagate to
+               this request only. *)
+            Mutex.lock t.mutex;
+            Hashtbl.remove t.tbl key;
+            Condition.broadcast t.cond;
+            Mutex.unlock t.mutex;
+            raise e)
+  in
+  decide ()

@@ -1,0 +1,26 @@
+type t = string
+
+let canonical_spec system = Rta_model.Parser.print system
+
+let estimator_tag = function `Direct -> "direct" | `Sum -> "sum"
+
+let of_system ~estimator ~release_horizon ~horizon system =
+  (* Everything the analysis result depends on, NUL-separated so no field
+     can run into the next: a format version, the tick granularity, the
+     analysis parameters, and the canonicalized system (parse + re-print
+     normalizes whitespace, comments, key order and number formatting). *)
+  let canonical =
+    String.concat "\x00"
+      [
+        "rta-key/1";
+        string_of_int Rta_model.Time.ticks_per_unit;
+        estimator_tag estimator;
+        string_of_int release_horizon;
+        string_of_int horizon;
+        canonical_spec system;
+      ]
+  in
+  Digest.to_hex (Digest.string canonical)
+
+let to_hex k = k
+let equal = String.equal

@@ -1,0 +1,25 @@
+(** Content-addressed cache keys for analysis requests.
+
+    Two requests get the same key exactly when the analysis is guaranteed
+    to produce the same result: same canonicalized system (textual
+    formatting, comments and field order do not matter — the system is
+    parsed and re-printed), same scheduler assignment (part of the
+    canonical spec), same tick granularity, same estimator and same
+    resolved horizons. *)
+
+type t = private string
+(** Hex MD5 digest of the canonical request description. *)
+
+val of_system :
+  estimator:[ `Direct | `Sum ] ->
+  release_horizon:int ->
+  horizon:int ->
+  Rta_model.System.t ->
+  t
+
+val canonical_spec : Rta_model.System.t -> string
+(** The canonical textual form used in the digest
+    ({!Rta_model.Parser.print}). *)
+
+val to_hex : t -> string
+val equal : t -> t -> bool

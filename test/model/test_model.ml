@@ -353,6 +353,66 @@ let test_parse_errors () =
   reject "processors warp\n";
   reject "processors spp\nfrobnicate\n"
 
+(* The batch service turns each bad NDJSON line into a structured per-line
+   error, so the parser's messages are load-bearing: they must carry the
+   offending line number and say what was wrong. *)
+let test_parse_error_messages () =
+  let contains ~sub s =
+    let n = String.length sub and m = String.length s in
+    let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+    go 0
+  in
+  let expect ?line ~sub text =
+    match Parser.parse text with
+    | Ok _ -> Alcotest.failf "expected parse error for %S" text
+    | Error e ->
+        (match line with
+        | Some l ->
+            let prefix = Printf.sprintf "line %d:" l in
+            Alcotest.(check bool)
+              (Printf.sprintf "%S starts with %S" e prefix)
+              true
+              (String.length e >= String.length prefix
+              && String.sub e 0 (String.length prefix) = prefix)
+        | None -> ());
+        Alcotest.(check bool)
+          (Printf.sprintf "%S mentions %S" e sub)
+          true (contains ~sub e)
+  in
+  let header = "processors spp\n" in
+  (* Unknown scheduler name. *)
+  expect ~line:1 ~sub:"unknown scheduler" "processors warp\n";
+  (* Spec with no processors line at all. *)
+  expect ~sub:"missing 'processors" "";
+  expect ~sub:"missing 'processors" "# only a comment\n";
+  (* Negative / non-positive quantities. *)
+  expect ~line:3 ~sub:"expected a positive number"
+    (header ^ "job T1 arrival periodic period=5 deadline 10\n\
+               \  step proc=0 exec=-1\n");
+  expect ~line:2 ~sub:"expected a positive number"
+    (header ^ "job T1 arrival periodic period=-5 deadline 10\n");
+  expect ~line:2 ~sub:"expected a non-negative number"
+    (header ^ "job T1 arrival periodic period=5 offset=-2 deadline 10\n");
+  expect ~line:2 ~sub:"burst must be a positive integer"
+    (header ^ "job T1 arrival burst_periodic burst=0 period=9 deadline 10\n");
+  (* Missing required fields. *)
+  expect ~line:2 ~sub:"missing deadline"
+    (header ^ "job T1 arrival periodic period=5\n");
+  expect ~line:2 ~sub:"missing period="
+    (header ^ "job T1 arrival periodic deadline 10\n");
+  expect ~line:2 ~sub:"missing arrival kind" (header ^ "job T1 arrival\n");
+  (* Malformed structure. *)
+  expect ~line:2 ~sub:"unknown arrival kind"
+    (header ^ "job T1 arrival warp deadline 10\n");
+  expect ~line:2 ~sub:"step before any job" (header ^ "  step proc=0 exec=1\n");
+  expect ~line:3 ~sub:"proc must be an integer"
+    (header ^ "job T1 arrival periodic period=5 deadline 10\n\
+               \  step proc=zero exec=1\n");
+  expect ~line:2 ~sub:"unknown directive" (header ^ "frobnicate\n");
+  (* Line numbers keep counting past comments and blank lines. *)
+  expect ~line:5 ~sub:"unknown directive"
+    (header ^ "# comment\n\njob T1 arrival periodic period=5 deadline 10\nwat\n")
+
 let test_roundtrip () =
   match Parser.parse sample_text with
   | Error e -> Alcotest.fail e
@@ -439,6 +499,7 @@ let () =
         [
           Alcotest.test_case "sample" `Quick test_parse_sample;
           Alcotest.test_case "errors" `Quick test_parse_errors;
+          Alcotest.test_case "error messages" `Quick test_parse_error_messages;
           Alcotest.test_case "roundtrip" `Quick test_roundtrip;
           prop_roundtrip_random_systems;
         ] );

@@ -129,6 +129,118 @@ let test_disabled_no_alloc () =
   check_bool "gauge stayed unset" true (Obs.gauge_value g = None)
 
 (* ------------------------------------------------------------------ *)
+(* Concurrency: hooks from several workers must not lose updates       *)
+(* ------------------------------------------------------------------ *)
+
+(* Hammer every hook from [workers] tasks at once through the service
+   backend (real domains on OCaml 5, sequential on 4.14 — the totals
+   must be exact either way).  Counters and gauges are atomics;
+   histograms and spans serialise on the registry mutex. *)
+let test_concurrent_hooks () =
+  with_obs (fun () ->
+      let c = Obs.counter "t.stress.counter" in
+      let g = Obs.gauge "t.stress.gauge" in
+      let h = Obs.histogram "t.stress.histogram" in
+      let workers = 8 and per_worker = 5_000 in
+      let tasks =
+        Array.init workers (fun w () ->
+            for i = 1 to per_worker do
+              Obs.incr c;
+              Obs.add c 2;
+              Obs.max_gauge g ((w * per_worker) + i);
+              Obs.observe_int h i;
+              let sp = Obs.span_begin "t.stress.span" in
+              Obs.span_int sp "i" i;
+              Obs.span_end sp
+            done)
+      in
+      Rta_service.Backend.run ~jobs:workers tasks;
+      check_int "no lost counter increments"
+        (3 * workers * per_worker)
+        (Obs.counter_value c);
+      check_bool "gauge holds the global maximum" true
+        (Obs.gauge_value g = Some (workers * per_worker));
+      check_int "no lost observations" (workers * per_worker)
+        (Obs.histogram_count h);
+      Alcotest.(check (float 0.))
+        "histogram max survives the race"
+        (float_of_int per_worker) (Obs.histogram_max h);
+      let s = Obs.spans () in
+      check_int "every span begun was ended and recorded"
+        (workers * per_worker) (Array.length s);
+      Array.iter
+        (fun (i : Obs.span_info) ->
+          check_bool "span record is well-formed" true
+            (i.Obs.si_name = "t.stress.span"
+            && i.Obs.si_duration >= 0.
+            && List.mem_assoc "i" i.Obs.si_attrs))
+        s)
+
+(* ------------------------------------------------------------------ *)
+(* JSON parsing (the NDJSON ingest side of Json)                       *)
+(* ------------------------------------------------------------------ *)
+
+let json =
+  Alcotest.testable
+    (fun ppf j -> Format.pp_print_string ppf (Obs.Json.to_string j))
+    (fun a b -> Obs.Json.to_string a = Obs.Json.to_string b)
+
+let contains_substring ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  go 0
+
+let test_json_of_string () =
+  let ok s expected =
+    match Obs.Json.of_string s with
+    | Ok j -> Alcotest.check json s expected j
+    | Error e -> Alcotest.fail (Printf.sprintf "%s: unexpected error %s" s e)
+  in
+  let module J = Obs.Json in
+  ok "null" J.Null;
+  ok "  true " (J.Bool true);
+  ok "-42" (J.Int (-42));
+  ok "3.5" (J.Float 3.5);
+  ok "1e3" (J.Float 1000.);
+  ok "[1,2,[3]]" (J.List [ J.Int 1; J.Int 2; J.List [ J.Int 3 ] ]);
+  ok {|{"a": 1, "b": [true, null], "c": "x"}|}
+    (J.Obj
+       [ ("a", J.Int 1); ("b", J.List [ J.Bool true; J.Null ]); ("c", J.String "x") ]);
+  ok {|"tab\tquote\"uA"|} (J.String "tab\tquote\"uA");
+  (* Surrogate pair: U+1F600 as UTF-8. *)
+  ok {|"😀"|} (J.String "\xf0\x9f\x98\x80");
+  let err s =
+    match Obs.Json.of_string s with
+    | Ok j ->
+        Alcotest.fail
+          (Printf.sprintf "%s: expected an error, got %s" s (J.to_string j))
+    | Error e ->
+        check_bool
+          (Printf.sprintf "%s: error mentions the offset (%s)" s e)
+          true
+          (String.length e > 0 && contains_substring ~sub:"offset" e)
+  in
+  List.iter err
+    [ ""; "{"; "[1,"; "tru"; "1 2"; {|{"a":}|}; {|"\q"|}; {|"unterminated|};
+      {|{"a" 1}|}; "[1 2]"; "nul"; {|"\ud83d"|} ]
+
+(* Round-trip: to_string output of every value shape parses back equal. *)
+let test_json_roundtrip () =
+  let module J = Obs.Json in
+  let v =
+    J.Obj
+      [
+        ("ints", J.List [ J.Int 0; J.Int (-1); J.Int max_int ]);
+        ("floats", J.List [ J.Float 0.5; J.Float (-2.25); J.Float 1e100 ]);
+        ("strings", J.List [ J.String ""; J.String "a\"b\\c\n\t"; J.String "\xc3\xa9" ]);
+        ("misc", J.List [ J.Null; J.Bool true; J.Bool false; J.Obj [] ]);
+      ]
+  in
+  match Obs.Json.of_string (J.to_string v) with
+  | Ok j -> Alcotest.check json "roundtrip" v j
+  | Error e -> Alcotest.fail ("roundtrip failed: " ^ e)
+
+(* ------------------------------------------------------------------ *)
 (* Engine instrumentation                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -269,6 +381,16 @@ let () =
         [ Alcotest.test_case "quantiles" `Quick test_histogram_quantiles ] );
       ( "overhead",
         [ Alcotest.test_case "disabled no-alloc" `Quick test_disabled_no_alloc ] );
+      ( "concurrency",
+        [
+          Alcotest.test_case "no lost updates under workers" `Quick
+            test_concurrent_hooks;
+        ] );
+      ( "json",
+        [
+          Alcotest.test_case "of_string" `Quick test_json_of_string;
+          Alcotest.test_case "roundtrip" `Quick test_json_roundtrip;
+        ] );
       ( "engine",
         [ Alcotest.test_case "subjob spans" `Quick test_engine_spans ] );
       ( "fixpoint",

@@ -1,0 +1,320 @@
+(* The batch service's contract:
+
+   - cache keys are content-addressed: formatting does not matter,
+     analysis parameters do;
+   - the memo cache computes each key once, does not cache failures, and
+     deduplicates identical in-flight requests;
+   - batch output is byte-identical across worker counts (the acceptance
+     bar for `rta batch`), matches N sequential Analysis.run calls, and
+     stays identical when the cache is hot;
+   - malformed NDJSON lines and unparseable specs fail only their own
+     request. *)
+
+open Rta_model
+module Batch = Rta_service.Batch
+module Cache = Rta_service.Cache
+module Key = Rta_service.Key
+module Json = Rta_obs.Json
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+(* Worker count under test: the CI matrix sets RTA_JOBS=4 on the 5.x leg;
+   locally we default to 8.  On the sequential backend any value degrades
+   to in-order execution, which must produce the same bytes. *)
+let par_jobs =
+  match Option.bind (Sys.getenv_opt "RTA_JOBS") int_of_string_opt with
+  | Some j when j >= 1 -> j
+  | Some _ | None -> 8
+
+(* ------------------------------------------------------------------ *)
+(* Corpus                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let spec_of_seed seed =
+  let sched =
+    match seed mod 3 with 0 -> Sched.Spp | 1 -> Sched.Spnp | _ -> Sched.Fcfs
+  in
+  let arrival =
+    if seed mod 5 = 0 then Rta_workload.Jobshop.Bursty_eq27
+    else Rta_workload.Jobshop.Periodic_eq25
+  in
+  let config =
+    Rta_workload.Jobshop.default
+      ~stages:(2 + (seed mod 2))
+      ~jobs:(3 + (seed mod 3))
+      ~utilization:(0.3 +. (0.05 *. float_of_int (seed mod 5)))
+      ~arrival
+      ~deadline:(Rta_workload.Jobshop.Multiple_of_period 2.0)
+      ~sched
+  in
+  Parser.print
+    (Rta_workload.Jobshop.generate config ~rng:(Rta_workload.Rng.make seed))
+
+(* [n] requests over [unique] distinct systems, so ~(n - unique) of them
+   are exact duplicates exercising the memo cache. *)
+let corpus ~n ~unique =
+  Array.init n (fun i ->
+      Ok (Batch.request ~id:(Printf.sprintf "sys-%d" i) (spec_of_seed (i mod unique))))
+
+(* ------------------------------------------------------------------ *)
+(* Keys                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let sample_spec =
+  "processors spp\n\n\
+   job T1 arrival periodic period=5.0 deadline 12.5\n\
+  \  step proc=0 exec=0.5 prio=1\n"
+
+let noisy_spec =
+  "# a comment\n\n\
+   processors   spp\n\n\n\
+   job T1   arrival periodic period=5.00 deadline 12.50\n\
+   \t step proc=0 exec=0.500 prio=1\n\n# trailing comment\n"
+
+let parse_exn spec =
+  match Parser.parse spec with
+  | Ok s -> s
+  | Error e -> Alcotest.failf "spec should parse: %s" e
+
+let test_key_canonicalization () =
+  let a = parse_exn sample_spec and b = parse_exn noisy_spec in
+  let key sys = Key.of_system ~estimator:`Direct ~release_horizon:50 ~horizon:100 sys in
+  check_string "formatting does not change the key" (Key.to_hex (key a))
+    (Key.to_hex (key b));
+  let k_sum = Key.of_system ~estimator:`Sum ~release_horizon:50 ~horizon:100 a in
+  check_bool "estimator is part of the key" false (Key.equal (key a) k_sum);
+  let k_h = Key.of_system ~estimator:`Direct ~release_horizon:50 ~horizon:200 a in
+  check_bool "horizon is part of the key" false (Key.equal (key a) k_h);
+  let k_rh = Key.of_system ~estimator:`Direct ~release_horizon:25 ~horizon:100 a in
+  check_bool "release horizon is part of the key" false (Key.equal (key a) k_rh)
+
+(* ------------------------------------------------------------------ *)
+(* Cache                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_cache_memoizes () =
+  let c = Cache.create () in
+  let computed = ref 0 in
+  let f () = incr computed; 42 in
+  (match Cache.find_or_compute c ~key:"k" f with
+  | `Miss 42 -> ()
+  | _ -> Alcotest.fail "first call should be a computing miss");
+  (match Cache.find_or_compute c ~key:"k" f with
+  | `Hit 42 -> ()
+  | _ -> Alcotest.fail "second call should hit");
+  check_int "computed once" 1 !computed;
+  check_int "one completed entry" 1 (Cache.length c);
+  check_bool "mem" true (Cache.mem c "k");
+  check_bool "find" true (Cache.find c "k" = Some 42);
+  Alcotest.(check (pair int int)) "stats" (1, 1) (Cache.stats c)
+
+let test_cache_failure_not_poisoned () =
+  let c = Cache.create () in
+  let attempts = ref 0 in
+  (try
+     ignore
+       (Cache.find_or_compute c ~key:"k" (fun () ->
+            incr attempts;
+            failwith "boom"))
+   with Failure _ -> ());
+  check_bool "failure is not cached" false (Cache.mem c "k");
+  (match Cache.find_or_compute c ~key:"k" (fun () -> incr attempts; 7) with
+  | `Miss 7 -> ()
+  | _ -> Alcotest.fail "retry after failure should compute");
+  check_int "computed twice" 2 !attempts
+
+(* ------------------------------------------------------------------ *)
+(* Determinism across worker counts (the acceptance bar)               *)
+(* ------------------------------------------------------------------ *)
+
+let render responses =
+  String.concat "\n" (Array.to_list (Array.map Batch.response_line responses))
+
+let test_differential_jobs () =
+  let requests = corpus ~n:60 ~unique:40 in
+  (* A malformed line and an unparseable spec must not perturb the rest. *)
+  requests.(17) <- Error "JSON parse error at offset 0: unexpected character 'x'";
+  requests.(23) <- Ok (Batch.request ~id:"bad" "processors warp\n");
+  let seq = Batch.run ~jobs:1 requests in
+  let par = Batch.run ~jobs:par_jobs requests in
+  check_string
+    (Printf.sprintf "jobs=1 and jobs=%d render identical NDJSON" par_jobs)
+    (render seq) (render par);
+  Array.iteri
+    (fun i (r : Batch.response) -> check_int "responses are in input order" i r.Batch.index)
+    par;
+  let summary = Batch.summarize par in
+  check_int "invalid lines isolated" 2 summary.Batch.invalid;
+  check_int "everything else analyzed" 58 summary.Batch.analyzed;
+  (* 60 requests over 40 specs leaves 20 duplicates; knocking out index 17
+     (spec 17's first occurrence) promotes its duplicate at 57 to the
+     computing miss, and index 23's spec occurs only once. *)
+  check_int "duplicates are deterministic cache hits" 19 summary.Batch.cache_hits;
+  check_int "uniques are misses" 39 summary.Batch.cache_misses
+
+let test_differential_vs_sequential_analyze () =
+  let requests = corpus ~n:24 ~unique:24 in
+  let responses = Batch.run ~jobs:par_jobs requests in
+  Array.iteri
+    (fun i response ->
+      let req = match requests.(i) with Ok r -> r | Error _ -> assert false in
+      let system = parse_exn req.Batch.spec in
+      let release_horizon, horizon =
+        Batch.resolve_horizons system ~release_horizon:None ~horizon:None
+      in
+      let report =
+        Rta_core.Analysis.run ~estimator:`Direct ~release_horizon ~horizon system
+      in
+      match response.Batch.status with
+      | Batch.Analyzed a ->
+          check_bool "same schedulability as a direct Analysis.run" true
+            (a.Batch.schedulable = report.Rta_core.Analysis.schedulable);
+          check_int "same resolved horizon" horizon a.Batch.horizon;
+          Array.iteri
+            (fun j (v : Batch.verdict) ->
+              let expected =
+                match report.Rta_core.Analysis.per_job.(j) with
+                | Rta_core.Analysis.Bounded b -> Some b
+                | Rta_core.Analysis.Unbounded -> None
+              in
+              check_bool "same per-job bound" true (v.Batch.bound = expected))
+            a.Batch.verdicts
+      | _ -> Alcotest.failf "request %d should analyze" i)
+    responses
+
+let test_hot_cache_same_answers () =
+  let requests = corpus ~n:20 ~unique:15 in
+  let cache = Cache.create () in
+  let cold = Batch.run ~jobs:par_jobs ~cache requests in
+  let hot = Batch.run ~jobs:par_jobs ~cache requests in
+  Array.iteri
+    (fun i (h : Batch.response) ->
+      check_bool "hot analysis equals cold" true
+        (h.Batch.status = cold.(i).Batch.status);
+      check_bool "hot requests all hit" true (h.Batch.cache = `Hit))
+    hot;
+  let hits, misses = Cache.stats cache in
+  check_int "each unique system computed once" 15 misses;
+  check_int "runtime hits cover the rest" 25 hits
+
+(* In-flight deduplication: many concurrent requests for one key, one
+   compute.  With the domains backend the duplicates genuinely race; on
+   the sequential fallback this degrades to plain memoization. *)
+let test_inflight_dedup () =
+  let spec = spec_of_seed 1 in
+  let requests = Array.init 32 (fun i -> Ok (Batch.request ~id:(string_of_int i) spec)) in
+  let cache = Cache.create () in
+  let responses = Batch.run ~jobs:par_jobs ~cache requests in
+  let _, misses = Cache.stats cache in
+  check_int "one compute for 32 identical requests" 1 misses;
+  check_int "one completed entry" 1 (Cache.length cache);
+  let summary = Batch.summarize responses in
+  check_int "all analyzed" 32 summary.Batch.analyzed;
+  check_int "deterministic labels: one miss" 1 summary.Batch.cache_misses;
+  check_int "deterministic labels: rest hit" 31 summary.Batch.cache_hits
+
+(* ------------------------------------------------------------------ *)
+(* Failure modes                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_deadline_timeout () =
+  let requests =
+    [|
+      Ok (Batch.request ~id:"expired" ~deadline_s:(-1.) (spec_of_seed 2));
+      Ok (Batch.request ~id:"fine" (spec_of_seed 2));
+    |]
+  in
+  let responses = Batch.run ~jobs:par_jobs requests in
+  (match responses.(0).Batch.status with
+  | Batch.Timed_out -> ()
+  | _ -> Alcotest.fail "expired deadline should time out");
+  (match responses.(1).Batch.status with
+  | Batch.Analyzed _ -> ()
+  | _ -> Alcotest.fail "timeout must not leak onto the other request");
+  check_string "timeout renders as a structured line"
+    {|{"index":0,"id":"expired","status":"timeout"}|}
+    (Batch.response_line responses.(0))
+
+(* ------------------------------------------------------------------ *)
+(* NDJSON request decoding                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_request_decoding () =
+  let ok line =
+    match Batch.request_of_line line with
+    | Ok r -> r
+    | Error e -> Alcotest.failf "line should decode: %s" e
+  in
+  let reject label line =
+    match Batch.request_of_line line with
+    | Ok _ -> Alcotest.failf "line should be rejected (%s)" label
+    | Error _ -> ()
+  in
+  let r =
+    ok
+      {|{"id": 7, "spec": "processors spp\n", "estimator": "sum", "auto_prio": true, "horizon": 99, "deadline_ms": 250}|}
+  in
+  check_bool "int id is stringified" true (r.Batch.id = Some "7");
+  check_bool "estimator decoded" true (r.Batch.estimator = `Sum);
+  check_bool "auto_prio decoded" true r.Batch.auto_prio;
+  check_bool "horizon decoded" true (r.Batch.horizon = Some 99);
+  check_bool "deadline decoded" true (r.Batch.deadline_s = Some 0.25);
+  let d = ok {|{"spec": "processors spp\n"}|} in
+  check_bool "defaults" true
+    (d.Batch.id = None && (not d.Batch.auto_prio)
+    && d.Batch.estimator = `Direct && d.Batch.horizon = None);
+  reject "not JSON" "processors spp";
+  reject "not an object" {|["processors spp"]|};
+  reject "missing spec" {|{"id": "x"}|};
+  reject "bad estimator" {|{"spec": "processors spp\n", "estimator": "magic"}|};
+  reject "bad horizon" {|{"spec": "processors spp\n", "horizon": -5}|};
+  reject "bad deadline" {|{"spec": "processors spp\n", "deadline_ms": -1}|}
+
+let test_response_roundtrips_as_json () =
+  let requests = [| Ok (Batch.request ~id:"r0" (spec_of_seed 3)) |] in
+  let responses = Batch.run requests in
+  match Json.of_string (Batch.response_line responses.(0)) with
+  | Error e -> Alcotest.failf "response line is not valid JSON: %s" e
+  | Ok (Json.Obj fields) ->
+      check_bool "index" true (List.assoc_opt "index" fields = Some (Json.Int 0));
+      check_bool "id" true (List.assoc_opt "id" fields = Some (Json.String "r0"));
+      check_bool "status" true
+        (List.assoc_opt "status" fields = Some (Json.String "ok"));
+      check_bool "cache" true
+        (List.assoc_opt "cache" fields = Some (Json.String "miss"));
+      (match List.assoc_opt "per_job" fields with
+      | Some (Json.List (_ :: _)) -> ()
+      | _ -> Alcotest.fail "per_job should be a non-empty list")
+  | Ok _ -> Alcotest.fail "response line should be a JSON object"
+
+let () =
+  Alcotest.run "rta_service"
+    [
+      ("key", [ Alcotest.test_case "canonicalization" `Quick test_key_canonicalization ]);
+      ( "cache",
+        [
+          Alcotest.test_case "memoizes" `Quick test_cache_memoizes;
+          Alcotest.test_case "failure not poisoned" `Quick
+            test_cache_failure_not_poisoned;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "jobs=1 vs jobs=N byte-identical" `Quick
+            test_differential_jobs;
+          Alcotest.test_case "matches sequential Analysis.run" `Quick
+            test_differential_vs_sequential_analyze;
+          Alcotest.test_case "hot cache same answers" `Quick
+            test_hot_cache_same_answers;
+          Alcotest.test_case "in-flight dedup" `Quick test_inflight_dedup;
+        ] );
+      ( "failures",
+        [ Alcotest.test_case "deadline timeout" `Quick test_deadline_timeout ] );
+      ( "ndjson",
+        [
+          Alcotest.test_case "request decoding" `Quick test_request_decoding;
+          Alcotest.test_case "response is valid JSON" `Quick
+            test_response_roundtrips_as_json;
+        ] );
+    ]
