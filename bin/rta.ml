@@ -21,11 +21,13 @@ let load_system path auto_prio =
         in
         System.make_exn ~schedulers ~jobs
 
+(* Horizon defaulting is owned by Analysis.resolve_horizons; the CLI only
+   builds a config from its flags and lets the library resolve it, so
+   `rta analyze`, `rta simulate` and `rta batch` agree by construction. *)
 let horizons system horizon release_horizon =
-  let suggested_release, suggested = Rta_workload.Jobshop.suggested_horizons system in
-  let release_horizon = Option.value ~default:suggested_release release_horizon in
-  let horizon = Option.value ~default:(max suggested (2 * release_horizon)) horizon in
-  (release_horizon, horizon)
+  Rta_core.Analysis.resolve_horizons
+    (Rta_core.Analysis.config ?release_horizon ?horizon ())
+    system
 
 (* Shared options *)
 
@@ -117,8 +119,13 @@ let analyze_cmd =
   let run () file horizon release_horizon auto_prio estimator verbose explain dump =
     setup_logs verbose;
     let system = load_system file auto_prio in
-    let release_horizon, horizon = horizons system horizon release_horizon in
-    let report = Rta_core.Analysis.run ~estimator ~release_horizon ~horizon system in
+    let config =
+      Rta_core.Analysis.config ~estimator ?release_horizon ?horizon ()
+    in
+    let report = Rta_core.Analysis.run ~config system in
+    (* The horizons the analysis actually used, for --explain/--dump-curves. *)
+    let release_horizon = report.Rta_core.Analysis.release_horizon in
+    let horizon = report.Rta_core.Analysis.horizon in
     Format.printf "%a@.%a@." System.pp system
       (Rta_core.Analysis.pp_report system)
       report;
@@ -390,8 +397,11 @@ let batch_cmd =
           exit 2
     in
     let defaults =
-      Rta_service.Batch.request ~auto_prio ~estimator
-        ?deadline_s:(Option.map (fun ms -> ms /. 1e3) deadline_ms)
+      Rta_service.Batch.request ~auto_prio
+        ~config:
+          (Rta_core.Analysis.config ~estimator
+             ?deadline_s:(Option.map (fun ms -> ms /. 1e3) deadline_ms)
+             ())
         ""
     in
     let cache = Rta_service.Cache.create () in
@@ -456,7 +466,7 @@ let envelope_cmd =
     let system = load_system file auto_prio in
     let n_procs = System.processor_count system in
     let n_jobs = System.job_count system in
-    let release_horizon, _ = Rta_workload.Jobshop.suggested_horizons system in
+    let release_horizon, _ = System.suggested_horizons system in
     let chain_is_pipeline j =
       let steps = (System.job system j).System.steps in
       Array.length steps = n_procs
@@ -508,13 +518,11 @@ let envelope_cmd =
 let sensitivity_cmd =
   let run () file horizon release_horizon auto_prio =
     let system = load_system file auto_prio in
-    let release_horizon, horizon = horizons system horizon release_horizon in
+    let config = Rta_core.Analysis.config ?release_horizon ?horizon () in
     (match Rta_core.Sensitivity.utilization_headroom system with
     | Some h -> Format.printf "utilization headroom (naive): %.3f@." h
     | None -> Format.printf "utilization headroom: n/a (trace arrivals)@.");
-    match
-      Rta_core.Sensitivity.critical_scaling ~release_horizon ~horizon system
-    with
+    match Rta_core.Sensitivity.critical_scaling ~config system with
     | Some lambda ->
         Format.printf
           "critical scaling factor: %.3f (execution budgets can %s by %.1f%%)@."
@@ -530,6 +538,89 @@ let sensitivity_cmd =
     (Cmd.info "sensitivity"
        ~doc:"Critical scaling factor: how much execution budgets can grow (or must shrink).")
     Term.(const run $ obs_term $ file_arg $ horizon_arg $ release_horizon_arg $ auto_prio_arg)
+
+(* fuzz *)
+
+let fuzz_cmd =
+  let count_arg =
+    Arg.(value & opt int 100
+         & info [ "count" ] ~docv:"N" ~doc:"Number of random systems to check.")
+  in
+  let budget_arg =
+    Arg.(value & opt (some float) None
+         & info [ "budget-s" ] ~docv:"SECONDS"
+             ~doc:"Stop after $(docv) wall-clock seconds even if $(b,--count) is not reached.")
+  in
+  let out_arg =
+    Arg.(value & opt (some string) None
+         & info [ "out" ] ~docv:"DIR"
+             ~doc:"Write each shrunk counterexample into $(docv) (created if missing) as a replayable .rta file.")
+  in
+  let fault_arg =
+    let fault_conv =
+      Arg.enum [ ("none", `None); ("fcfs-drop-tau", `Fcfs_drop_tau) ]
+    in
+    Arg.(value & opt fault_conv `None
+         & info [ "plant-fault" ] ~docv:"FAULT"
+             ~doc:"Plant a known-unsound engine bug before fuzzing, as a self-test of the oracle: $(b,fcfs-drop-tau) drops Theorem 9's +tau term from the FCFS departure lower bound.  The run is expected to FAIL.")
+  in
+  let replay_arg =
+    Arg.(value & opt (some file) None
+         & info [ "replay" ] ~docv:"FILE"
+             ~doc:"Re-check a saved counterexample instead of fuzzing (horizons come from the file's #! directive).")
+  in
+  let print_violations vs =
+    List.iter
+      (fun v -> Format.printf "  %a@." Rta_check.Oracle.pp_violation v)
+      vs
+  in
+  let run () seed count budget_s out fault replay verbose =
+    setup_logs verbose;
+    Rta_core.Engine.set_fault fault;
+    match replay with
+    | Some path -> (
+        match Rta_check.Fuzz.replay path with
+        | Error msg ->
+            Format.eprintf "error: %s@." msg;
+            exit 2
+        | Ok Rta_check.Oracle.Passed -> Format.printf "replay: passed@."
+        | Ok (Rta_check.Oracle.Skipped why) ->
+            Format.eprintf "replay: skipped (%s)@." why;
+            exit 2
+        | Ok (Rta_check.Oracle.Failed vs) ->
+            Format.printf "replay: %d violation(s)@." (List.length vs);
+            print_violations vs;
+            exit 1)
+    | None ->
+        if count < 1 then begin
+          Format.eprintf "error: --count must be at least 1@.";
+          exit 2
+        end;
+        let outcome =
+          Rta_check.Fuzz.run ?out_dir:out ?budget_s ~seed ~count ()
+        in
+        Format.printf
+          "fuzz: %d tested (%d passed, %d skipped), %d counterexample(s) in \
+           %.1fs (seed %d)@."
+          outcome.Rta_check.Fuzz.tested outcome.Rta_check.Fuzz.passed
+          outcome.Rta_check.Fuzz.skipped
+          (List.length outcome.Rta_check.Fuzz.counterexamples)
+          outcome.Rta_check.Fuzz.elapsed_s seed;
+        List.iter
+          (fun (cex : Rta_check.Fuzz.counterexample) ->
+            Format.printf "case %d (seed %d):%s@." cex.Rta_check.Fuzz.index
+              (cex.Rta_check.Fuzz.seed + cex.Rta_check.Fuzz.index)
+              (match cex.Rta_check.Fuzz.file with
+              | Some f -> Printf.sprintf " written to %s" f
+              | None -> "");
+            print_violations cex.Rta_check.Fuzz.violations)
+          outcome.Rta_check.Fuzz.counterexamples;
+        if outcome.Rta_check.Fuzz.counterexamples <> [] then exit 1
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:"Differential fuzzing: random systems are analyzed and simulated, the analysis bounds checked against the simulated ground truth, and any violation shrunk to a minimal replayable counterexample.")
+    Term.(const run $ obs_term $ seed_arg $ count_arg $ budget_arg $ out_arg $ fault_arg $ replay_arg $ verbose_arg)
 
 (* figures *)
 
@@ -595,4 +686,4 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group ~default info
-          [ analyze_cmd; simulate_cmd; baseline_cmd; generate_cmd; batch_cmd; envelope_cmd; sensitivity_cmd; figures_cmd ]))
+          [ analyze_cmd; simulate_cmd; baseline_cmd; generate_cmd; batch_cmd; envelope_cmd; sensitivity_cmd; fuzz_cmd; figures_cmd ]))

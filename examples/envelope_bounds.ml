@@ -70,7 +70,7 @@ let () =
     |> Array.of_list
   in
   let system = System.make_exn ~schedulers:[| Sched.Spp |] ~jobs in
-  let report = Rta_core.Analysis.run ~release_horizon ~horizon system in
+  let report = Rta_core.Analysis.run ~config:(Rta_core.Analysis.config ~release_horizon ~horizon ()) system in
   let sim = Rta_sim.Sim.run ~release_horizon system ~horizon in
   Format.printf "@.SPP on the critical-instant traces:@.";
   Array.iteri

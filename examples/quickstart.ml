@@ -42,7 +42,8 @@ let () =
      1-3) directly on the bursty trace — no periodic abstraction needed. *)
   let horizon = Time.of_units 100.0 in
   let release_horizon = Time.of_units 50.0 in
-  let report = Rta_core.Analysis.run ~release_horizon ~horizon system in
+  let config = Rta_core.Analysis.config ~release_horizon ~horizon () in
+  let report = Rta_core.Analysis.run ~config system in
   Format.printf "%a@.@." (Rta_core.Analysis.pp_report system) report;
 
   (* Cross-check against the event-driven simulator: for SPP the analysis
@@ -63,6 +64,6 @@ let () =
   Format.printf "@.%s" (Rta_sim.Gantt.render ~upto:(Time.of_units 25.0) system sim);
 
   (* How much execution budget headroom is left? *)
-  match Rta_core.Sensitivity.critical_scaling ~release_horizon ~horizon system with
+  match Rta_core.Sensitivity.critical_scaling ~config system with
   | Some lambda -> Format.printf "@.critical scaling factor: %.2f@." lambda
   | None -> Format.printf "@.no feasible scaling@."

@@ -48,7 +48,7 @@ let analyze_burst burst =
       ~jobs:[| frame_pipeline ~burst; telemetry |]
   in
   let horizon = Time.of_units 120.0 and release_horizon = Time.of_units 60.0 in
-  let report = Rta_core.Analysis.run ~release_horizon ~horizon system in
+  let report = Rta_core.Analysis.run ~config:(Rta_core.Analysis.config ~release_horizon ~horizon ()) system in
   let sim = Rta_sim.Sim.run ~release_horizon system ~horizon in
   let bound =
     match report.Rta_core.Analysis.per_job.(0) with

@@ -1,0 +1,29 @@
+(** Random system generation for the differential fuzz oracle.
+
+    Two families, mixed 70/30:
+
+    - {b micro}: small hand-shaped systems (1-3 stages, 1-2 processors per
+      stage, 1-4 jobs, 1-4 tick execution times) over short fixed horizons.
+      Every scheduler ([SPP]/[SPNP]/[FCFS]) and every arrival pattern is
+      drawn, including [Trace] arrivals with duplicate release times (the
+      FCFS tie case) and the paper's bursty pattern.  Priorities come from
+      {!Rta_model.Priority.deadline_monotonic}, so they are valid (unique
+      per processor) by construction.  A step occasionally lands on a
+      processor outside its stage, producing the shared-processor and
+      cyclic-dependency shapes.
+    - {b shop}: draws from the paper's own workload generator
+      ({!Rta_workload.Jobshop.generate}) with horizons from
+      {!Rta_model.System.suggested_horizons}.
+
+    Generation is deterministic in the rng state: the fuzz loop derives one
+    rng per case from [seed + index], so any case is replayable from its
+    seed alone. *)
+
+type case = {
+  system : Rta_model.System.t;
+  release_horizon : int;
+  horizon : int;
+}
+
+val generate : Rta_workload.Rng.t -> case
+(** Draw one case.  Deterministic in the rng state. *)

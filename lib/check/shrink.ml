@@ -1,0 +1,74 @@
+open Rta_model
+
+(* Candidate reductions, cheapest-win first: dropping a whole job shrinks
+   fastest, so job drops precede per-job simplifications.  Candidates that
+   fail model validation (System.make) are silently discarded. *)
+let candidates system =
+  let n = System.job_count system in
+  let schedulers =
+    Array.init (System.processor_count system) (System.scheduler_of system)
+  in
+  let jobs () = Array.init n (System.job system) in
+  let out = ref [] in
+  let keep jobs =
+    match System.make ~schedulers ~jobs with
+    | Ok s -> out := s :: !out
+    | Error _ -> ()
+  in
+  if n > 1 then
+    for j = 0 to n - 1 do
+      keep
+        (Array.of_list
+           (List.filteri (fun i _ -> i <> j) (Array.to_list (jobs ()))))
+    done;
+  for j = 0 to n - 1 do
+    let replace job' =
+      let a = jobs () in
+      a.(j) <- job';
+      keep a
+    in
+    let job = System.job system j in
+    let n_steps = Array.length job.System.steps in
+    if n_steps > 1 then
+      replace { job with System.steps = Array.sub job.System.steps 0 (n_steps - 1) };
+    Array.iteri
+      (fun s (st : System.step) ->
+        if st.System.exec > 1 then begin
+          let steps = Array.copy job.System.steps in
+          steps.(s) <- { st with System.exec = max 1 (st.System.exec / 2) };
+          replace { job with System.steps = steps }
+        end)
+      job.System.steps;
+    (match job.System.arrival with
+    | Arrival.Burst_periodic { burst; period; offset } when burst > 1 ->
+        replace
+          { job with
+            System.arrival =
+              Arrival.Burst_periodic { burst = burst / 2; period; offset } }
+    | Arrival.Burst_periodic { period; offset; _ } ->
+        replace
+          { job with System.arrival = Arrival.Periodic { period; offset } }
+    | Arrival.Trace ts when Array.length ts > 1 ->
+        replace
+          { job with
+            System.arrival =
+              Arrival.Trace (Array.sub ts 0 ((Array.length ts + 1) / 2)) }
+    | Arrival.Sporadic_worst { min_gap; count } when count > 1 ->
+        replace
+          { job with
+            System.arrival = Arrival.Sporadic_worst { min_gap; count = count / 2 } }
+    | Arrival.Bursty { period } ->
+        replace { job with System.arrival = Arrival.Periodic { period; offset = 0 } }
+    | Arrival.Periodic _ | Arrival.Trace _ | Arrival.Sporadic_worst _ -> ())
+  done;
+  List.rev !out
+
+let shrink ?(max_rounds = 200) still_fails system =
+  let rec go rounds system =
+    if rounds <= 0 then system
+    else
+      match List.find_opt still_fails (candidates system) with
+      | None -> system
+      | Some smaller -> go (rounds - 1) smaller
+  in
+  go max_rounds system

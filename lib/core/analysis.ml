@@ -1,11 +1,36 @@
 open Rta_model
 
+type config = {
+  estimator : [ `Direct | `Sum ];
+  release_horizon : int option;
+  horizon : int option;
+  deadline_s : float option;
+}
+
+let default =
+  { estimator = `Direct; release_horizon = None; horizon = None; deadline_s = None }
+
+let config ?(estimator = `Direct) ?release_horizon ?horizon ?deadline_s () =
+  { estimator; release_horizon; horizon; deadline_s }
+
+let resolve_horizons cfg system =
+  let suggested_release, suggested = System.suggested_horizons system in
+  let release_horizon =
+    Option.value ~default:suggested_release cfg.release_horizon
+  in
+  let horizon =
+    Option.value ~default:(max suggested (2 * release_horizon)) cfg.horizon
+  in
+  (release_horizon, horizon)
+
 type verdict = Bounded of int | Unbounded
 
 type report = {
   method_used : [ `Exact | `Approximate | `Fixpoint ];
   per_job : verdict array;
   schedulable : bool;
+  release_horizon : int;
+  horizon : int;
 }
 
 let of_response = function
@@ -16,7 +41,7 @@ let of_fixpoint = function
   | Fixpoint.Bounded r -> Bounded r
   | Fixpoint.Unbounded -> Unbounded
 
-let finish system method_used per_job =
+let finish system method_used ~release_horizon ~horizon per_job =
   let schedulable =
     Array.to_list per_job
     |> List.mapi (fun j v ->
@@ -25,23 +50,27 @@ let finish system method_used per_job =
            | Unbounded -> false)
     |> List.for_all Fun.id
   in
-  { method_used; per_job; schedulable }
+  { method_used; per_job; schedulable; release_horizon; horizon }
 
-let run ?(estimator = `Direct) ?release_horizon ~horizon system =
+let run ?(config = default) system =
+  let release_horizon, horizon = resolve_horizons config system in
+  let finish = finish system ~release_horizon ~horizon in
   let sp = Rta_obs.span_begin "analysis.run" in
   let report =
-    match Engine.run ?release_horizon ~horizon system with
+    match Engine.run ~release_horizon ~horizon system with
     | Error (`Cyclic _) ->
-        let fp = Fixpoint.analyze ?release_horizon ~horizon system in
-        finish system `Fixpoint (Array.map of_fixpoint fp.Fixpoint.per_job)
+        let fp = Fixpoint.analyze ~release_horizon ~horizon system in
+        finish `Fixpoint (Array.map of_fixpoint fp.Fixpoint.per_job)
     | Ok engine ->
         let exact = Engine.is_exact engine in
-        let estimator = if exact then `Exact else (estimator :> Response.estimator) in
+        let estimator =
+          if exact then `Exact else (config.estimator :> Response.estimator)
+        in
         let per_job =
           Array.init (System.job_count system) (fun j ->
               of_response (Response.end_to_end engine ~estimator ~job:j))
         in
-        finish system (if exact then `Exact else `Approximate) per_job
+        finish (if exact then `Exact else `Approximate) per_job
   in
   if Rta_obs.enabled () then
     Rta_obs.span_str sp "method"

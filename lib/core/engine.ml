@@ -40,6 +40,18 @@ type t = {
 
 let entry t (id : System.subjob_id) = t.entries.(id.job).(id.step)
 
+(* Test-only fault injection: the fuzz harness plants a known-unsound bug
+   and checks its oracle catches it.  [`Fcfs_drop_tau] drops the Theorem 9
+   [+ tau] (the instance's own execution demand, which the right-continuous
+   workload value at the arrival instant carries) from the FCFS guaranteed-
+   departure target, making dep_lo claim departures before the processor
+   can have served the instance. *)
+type fault = [ `None | `Fcfs_drop_tau ]
+
+let fault_state = ref (`None : fault)
+let set_fault f = fault_state := f
+let current_fault () = !fault_state
+
 let is_exact t =
   Array.for_all (Array.for_all (fun e -> e.exact)) t.entries
 
@@ -60,6 +72,57 @@ let entry_csv t id =
            (Step.eval e.dep_hi time)))
     change_points;
   Buffer.contents buf
+
+(* Structural invariants an entry must satisfy whatever the scheduler path
+   that produced it; the fuzz oracle runs this on every entry before
+   comparing against the simulator.  All bracket comparisons are restricted
+   to [0, horizon] — beyond it the engine makes no claims (FCFS upper
+   departures in particular may jump later). *)
+let check_entry t e =
+  let failures = ref [] in
+  let fail fmt =
+    Format.kasprintf (fun s -> failures := s :: !failures) fmt
+  in
+  let check_inv (type a) name
+      (module C : Rta_curve.CURVE with type t = a) (c : a) =
+    try C.invariant c with Invalid_argument msg -> fail "%s: %s" name msg
+  in
+  check_inv "arr_lo" Rta_curve.step_curve e.arr_lo;
+  check_inv "arr_hi" Rta_curve.step_curve e.arr_hi;
+  check_inv "dep_lo" Rta_curve.step_curve e.dep_lo;
+  check_inv "dep_hi" Rta_curve.step_curve e.dep_hi;
+  check_inv "svc_lo" Rta_curve.pl_curve e.svc_lo;
+  check_inv "svc_hi" Rta_curve.pl_curve e.svc_hi;
+  if not (Pl.is_nondecreasing e.svc_lo) then fail "svc_lo is decreasing somewhere";
+  if not (Pl.is_nondecreasing e.svc_hi) then fail "svc_hi is decreasing somewhere";
+  if Pl.eval e.svc_lo 0 < 0 then
+    fail "svc_lo(0) = %d < 0" (Pl.eval e.svc_lo 0);
+  let h = t.horizon in
+  let step_h f = Step.truncate_after f h and pl_h f = Pl.truncate_at f h in
+  if not (Step.dominates (step_h e.arr_hi) (step_h e.arr_lo)) then
+    fail "arr_hi does not dominate arr_lo within the horizon";
+  if not (Step.dominates (step_h e.dep_hi) (step_h e.dep_lo)) then
+    fail "dep_hi does not dominate dep_lo within the horizon";
+  if not (Pl.dominates (pl_h e.svc_hi) (pl_h e.svc_lo)) then
+    fail "svc_hi does not dominate svc_lo within the horizon";
+  if e.exact then begin
+    if not (Step.equal e.arr_lo e.arr_hi) then
+      fail "exact entry with arr_lo <> arr_hi";
+    if not (Step.equal e.dep_lo e.dep_hi) then
+      fail "exact entry with dep_lo <> dep_hi";
+    if not (Pl.equal e.svc_lo e.svc_hi) then
+      fail "exact entry with svc_lo <> svc_hi";
+    (* Theorem 2 on the exact path: dep = floor(S / tau), capped by the
+       arrivals. *)
+    let derived =
+      Step.min2
+        (Pl.to_step_floor_div (Pl.truncate_at e.svc_lo h) e.tau)
+        e.arr_lo
+    in
+    if not (Step.equal e.dep_lo derived) then
+      fail "exact entry violates dep = floor(S / tau)"
+  end;
+  List.rev !failures
 
 (* Departure bounds from service bounds (Theorem 2 / Lemmas 1-2), with the
    arrival caps described in engine.mli. *)
@@ -173,7 +236,15 @@ let fcfs_departures ?(exact_inputs = false) ~horizon ~tau ~arr_lo ~arr_hi ~g_lo
         match Step.inverse arr_lo i with
         | None -> List.rev acc
         | Some a_i -> (
-            match Pl.inverse_geq u_lo (Step.eval g_hi a_i) with
+            let target =
+              match !fault_state with
+              | `None -> Step.eval g_hi a_i
+              | `Fcfs_drop_tau ->
+                  (* Planted bug: the left limit misses the workload
+                     arriving exactly at a_i — the instance's own tau. *)
+                  Step.eval_left g_hi a_i
+            in
+            match Pl.inverse_geq u_lo target with
             | Some theta when theta <= horizon -> jumps (i + 1) ((theta, i) :: acc)
             | Some _ | None -> List.rev acc)
     in

@@ -83,6 +83,30 @@ val run :
 
 val entry : t -> Rta_model.System.subjob_id -> entry
 
+val check_entry : t -> entry -> string list
+(** Structural invariants of a computed entry, one message per violation
+    (empty = all hold): every curve satisfies its representation invariant
+    ({!Rta_curve.CURVE}), service curves are non-decreasing and
+    non-negative, upper bounds dominate lower bounds within the horizon,
+    and [exact] entries have coinciding bounds satisfying Theorem 2's
+    [dep = floor (S / tau)].  The fuzz oracle ({!Rta_check}) runs this on
+    every entry of every generated system. *)
+
+(** {1 Test-only fault injection}
+
+    The fuzz harness plants a known-unsound bug to prove its oracle can
+    catch one.  Process-global; always reset to [`None] after use. *)
+
+type fault =
+  [ `None
+  | `Fcfs_drop_tau
+    (** drop Theorem 9's [+ tau] (the instance's own demand) from the FCFS
+        guaranteed-departure target: dep_lo claims departures one execution
+        time too early *) ]
+
+val set_fault : fault -> unit
+val current_fault : unit -> fault
+
 val entry_csv : t -> Rta_model.System.subjob_id -> string
 (** The entry's four counting functions (arrival and departure bounds) as
     CSV over their merged change points: [t, arr_lo, arr_hi, dep_lo,

@@ -36,9 +36,9 @@ let with_priorities system assignment =
   in
   System.make_exn ~schedulers ~jobs
 
-let search ?(estimator = `Direct) ?(limit = 5000) ?release_horizon ~horizon system =
+let search ?(config = Analysis.default) ?(limit = 5000) system =
   let admitted candidate =
-    (Analysis.run ~estimator ?release_horizon ~horizon candidate).Analysis.schedulable
+    (Analysis.run ~config candidate).Analysis.schedulable
   in
   if admitted system then Schedulable system
   else begin

@@ -22,11 +22,7 @@ type outcome =
           priority assignment is admitted by this analysis *)
 
 val search :
-  ?estimator:[ `Direct | `Sum ] ->
-  ?limit:int ->
-  ?release_horizon:int ->
-  horizon:int ->
-  Rta_model.System.t ->
-  outcome
-(** [limit] defaults to 5000 analysis runs.  FCFS processors are left
-    untouched (priorities are irrelevant there). *)
+  ?config:Analysis.config -> ?limit:int -> Rta_model.System.t -> outcome
+(** Every probe runs {!Analysis.run} with [config] (default
+    {!Analysis.default}).  [limit] defaults to 5000 analysis runs.  FCFS
+    processors are left untouched (priorities are irrelevant there). *)

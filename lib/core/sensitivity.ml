@@ -16,13 +16,13 @@ let scale_executions system factor =
   in
   System.make_exn ~schedulers ~jobs
 
-let critical_scaling ?(estimator = `Direct) ?release_horizon ?(precision = 0.01)
-    ?(upper_limit = 4.0) ~horizon system =
+let critical_scaling ?(config = Analysis.default) ?(precision = 0.01)
+    ?(upper_limit = 4.0) system =
   if precision <= 0. then invalid_arg "Sensitivity.critical_scaling: precision";
   if upper_limit <= 0. then invalid_arg "Sensitivity.critical_scaling: upper_limit";
   let admitted factor =
     let scaled = scale_executions system factor in
-    (Analysis.run ~estimator ?release_horizon ~horizon scaled).Analysis.schedulable
+    (Analysis.run ~config scaled).Analysis.schedulable
   in
   (* Establish a feasible lower anchor; even tiny budgets can fail when a
      deadline is shorter than the chain's floor of one tick per stage. *)

@@ -17,14 +17,13 @@ val scale_executions : Rta_model.System.t -> float -> Rta_model.System.t
     tick.  @raise Invalid_argument on a non-positive factor. *)
 
 val critical_scaling :
-  ?estimator:[ `Direct | `Sum ] ->
-  ?release_horizon:int ->
+  ?config:Analysis.config ->
   ?precision:float ->
   ?upper_limit:float ->
-  horizon:int ->
   Rta_model.System.t ->
   float option
-(** Largest schedulable scaling factor, found by bisection to the given
+(** Largest schedulable scaling factor (probes run {!Analysis.run} with
+    [config], default {!Analysis.default}), found by bisection to the given
     [precision] (default 0.01) within [(0, upper_limit]] (default 4.0).
     [None] if even a vanishing scale is unschedulable (some deadline is
     impossible regardless of execution budget).  The returned factor is

@@ -1,0 +1,32 @@
+(** The signature shared by both curve representations.
+
+    {!Step} (right-continuous counting functions) and {!Pl} (piecewise-linear
+    grid functions) both model exact integer functions on [0, +inf) with a
+    finite description.  This is the common core a client needs to treat a
+    curve generically: evaluate it, compare it, print it, measure its
+    description size, and check its representation invariant.  [Rta_check]'s
+    invariant sweep is written once against this signature; a future curve
+    backend (e.g. an interval-tree or dense representation) plugs in by
+    implementing it. *)
+
+module type CURVE = sig
+  type t
+
+  val eval : t -> int -> int
+  (** [eval f t] is [f(t)], for [t >= 0]. *)
+
+  val equal : t -> t -> bool
+  (** Extensional equality (both representations are normal forms, so this
+      is structural). *)
+
+  val pp : Format.formatter -> t -> unit
+
+  val knot_count : t -> int
+  (** Number of change points in the description: jumps for a step
+      function, knots for a polyline.  The curve's description size. *)
+
+  val invariant : t -> unit
+  (** Checks the representation invariant.
+      @raise Invalid_argument with a descriptive message if it is
+      violated. *)
+end

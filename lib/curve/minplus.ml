@@ -14,14 +14,45 @@ let h_seconds = Obs.histogram "minplus.prefix_min.seconds"
 
 (* Sorted, deduplicated event times: 0, every knot of [avail], and for every
    jump time j of [work] both j and j+1 (so that both the value and the left
-   limit of [work] are constant on every open interval between events). *)
+   limit of [work] are constant on every open interval between events).
+
+   Both inputs are already sorted (knot times strictly increasing, and the
+   per-jump pairs j, j+1 non-decreasing across jumps since j' > j implies
+   j' >= j+1), so a single linear merge suffices — no list rebuilding, no
+   sort. *)
 let event_times avail work =
-  let knot_times = Array.to_list (Pl.knots avail) |> List.map fst in
-  let jump_times =
-    Array.to_list (Step.jumps work)
-    |> List.concat_map (fun (t, _) -> [ t; t + 1 ])
+  let ks = Pl.knots avail in
+  let js = Step.jumps work in
+  let nk = Array.length ks and nj = Array.length js in
+  let out = Array.make (nk + (2 * nj) + 1) 0 in
+  let len = ref 0 in
+  let push t =
+    if !len = 0 || out.(!len - 1) < t then begin
+      out.(!len) <- t;
+      incr len
+    end
   in
-  List.sort_uniq compare ((0 :: knot_times) @ jump_times)
+  push 0;
+  let i = ref 0 and j = ref 0 and half = ref 0 in
+  (* [half] selects which of the two events of jump [j] comes next: the
+     jump time itself (0) or the tick after (1). *)
+  while !i < nk || !j < nj do
+    let next_knot = if !i < nk then fst ks.(!i) else max_int in
+    let next_jump = if !j < nj then fst js.(!j) + !half else max_int in
+    if next_knot <= next_jump then begin
+      push next_knot;
+      incr i
+    end
+    else begin
+      push next_jump;
+      if !half = 0 then half := 1
+      else begin
+        half := 0;
+        incr j
+      end
+    end
+  done;
+  Array.sub out 0 !len
 
 let work_value ~mode work s =
   match mode with `Left -> Step.eval_left work s | `Right -> Step.eval work s
@@ -43,12 +74,13 @@ let prefix_min_impl ~mode ~avail ~work =
   let m_cur = ref (hl 0) in
   push 0 !m_cur;
   let tail = ref 0 in
-  let rec intervals = function
-    | [] -> ()
-    | [ e ] -> interval e None
-    | e :: (e' :: _ as rest) ->
-        interval e (Some e');
-        intervals rest
+  let n_events = Array.length events in
+  let rec intervals k =
+    if k < n_events then begin
+      interval events.(k)
+        (if k + 1 < n_events then Some events.(k + 1) else None);
+      intervals (k + 1)
+    end
   and interval e bound =
     let hl_e = hl e in
     if hl_e < !m_cur then begin
@@ -89,7 +121,7 @@ let prefix_min_impl ~mode ~avail ~work =
       end
     end
   in
-  intervals events;
+  intervals 0;
   Pl.of_knots ~tail:!tail (List.rev !buf)
 
 (* The instrumented entry point: every min-plus transform in the engine

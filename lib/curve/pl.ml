@@ -27,12 +27,19 @@ let segment_slope f i =
   else (f.ys.(i + 1) - f.ys.(i)) / (f.xs.(i + 1) - f.xs.(i))
 
 let invariant f =
+  let fail fmt = Format.kasprintf invalid_arg ("Pl.invariant: " ^^ fmt) in
   let n = Array.length f.xs in
-  assert (n >= 1 && f.xs.(0) = 0 && Array.length f.ys = n);
+  if n < 1 then fail "no knots";
+  if f.xs.(0) <> 0 then fail "first knot at time %d, not 0" f.xs.(0);
+  if Array.length f.ys <> n then
+    fail "%d knot times but %d values" n (Array.length f.ys);
   for i = 0 to n - 2 do
     let dx = f.xs.(i + 1) - f.xs.(i) and dy = f.ys.(i + 1) - f.ys.(i) in
-    assert (dx > 0);
-    assert (dy mod dx = 0)
+    if dx <= 0 then
+      fail "knot times not strictly increasing at index %d (%d <= %d)" (i + 1)
+        f.xs.(i + 1) f.xs.(i);
+    if dy mod dx <> 0 then
+      fail "non-integer slope %d/%d on segment starting at index %d" dy dx i
   done
 
 (* Rebuild in normal form from raw knots (strictly increasing times starting

@@ -45,6 +45,14 @@ val knots : t -> (int * int) array
 val tail_slope : t -> int
 val knot_count : t -> int
 
+val invariant : t -> unit
+(** Checks the representation invariant (at least one knot, first at time
+    0, strictly increasing knot times, integer segment slopes).  Always
+    holds for values built through this interface; exposed so generic
+    consumers ({!Curve_sig.CURVE}, the fuzz oracle) can audit curves
+    produced by long operation chains.
+    @raise Invalid_argument with a descriptive message if violated. *)
+
 val sup : t -> int option
 (** Supremum over the grid: [None] when the tail slope is positive (the
     function grows without bound), otherwise the maximum value, attained at

@@ -1,0 +1,22 @@
+(** The curve layer: exact integer curve algebra for the service-function
+    calculus.
+
+    {!Step} and {!Pl} are the two curve representations, both implementing
+    {!module-type:CURVE}; {!Minplus} is the min-plus transform connecting
+    them; {!Dense} is the brute-force oracle used by the property tests;
+    {!Envelope} is the horizon-free arrival-envelope extension. *)
+
+module type CURVE = Curve_sig.CURVE
+
+module Step = Step
+module Pl = Pl
+module Minplus = Minplus
+module Dense = Dense
+module Envelope = Envelope
+
+(* First-class conformance witnesses: packing the modules here both proves
+   at compile time that they satisfy CURVE and gives generic clients (the
+   fuzz oracle's invariant sweep) ready-made values to iterate over. *)
+
+let step_curve : (module CURVE with type t = Step.t) = (module Step)
+let pl_curve : (module CURVE with type t = Pl.t) = (module Pl)

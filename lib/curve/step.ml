@@ -8,14 +8,23 @@
 type t = { init : int; ts : int array; vs : int array }
 
 let invariant f =
+  let fail fmt = Format.kasprintf invalid_arg ("Step.invariant: " ^^ fmt) in
   let n = Array.length f.ts in
-  assert (Array.length f.vs = n);
+  if Array.length f.vs <> n then
+    fail "%d jump times but %d values" n (Array.length f.vs);
   let check_knot i =
-    assert (f.ts.(i) >= 0);
-    if i = 0 then assert (f.vs.(0) > f.init)
+    if f.ts.(i) < 0 then fail "negative jump time %d" f.ts.(i);
+    if i = 0 then begin
+      if f.vs.(0) <= f.init then
+        fail "first jump value %d does not exceed init %d" f.vs.(0) f.init
+    end
     else begin
-      assert (f.ts.(i) > f.ts.(i - 1));
-      assert (f.vs.(i) > f.vs.(i - 1))
+      if f.ts.(i) <= f.ts.(i - 1) then
+        fail "jump times not strictly increasing at index %d (%d <= %d)" i
+          f.ts.(i) f.ts.(i - 1);
+      if f.vs.(i) <= f.vs.(i - 1) then
+        fail "jump values not strictly increasing at index %d (%d <= %d)" i
+          f.vs.(i) f.vs.(i - 1)
     end
   in
   for i = 0 to n - 1 do
@@ -124,6 +133,7 @@ let final_value f =
   if n = 0 then f.init else f.vs.(n - 1)
 
 let jump_count f = Array.length f.ts
+let knot_count = jump_count
 let jumps f = Array.init (Array.length f.ts) (fun i -> (f.ts.(i), f.vs.(i)))
 let support_end f =
   let n = Array.length f.ts in

@@ -64,6 +64,18 @@ val final_value : t -> int
 val jump_count : t -> int
 (** Number of jump points. *)
 
+val knot_count : t -> int
+(** Alias of {!jump_count}: the description size in the sense of
+    {!Curve_sig.CURVE}. *)
+
+val invariant : t -> unit
+(** Checks the representation invariant (non-negative strictly increasing
+    jump times, strictly increasing values above the initial value).
+    Always holds for values built through this interface; exposed so
+    generic consumers ({!Curve_sig.CURVE}, the fuzz oracle) can audit
+    curves produced by long operation chains.
+    @raise Invalid_argument with a descriptive message if violated. *)
+
 val jumps : t -> (int * int) array
 (** [(time, value_from_time_on)] pairs of all jumps, in increasing time
     order.  The returned array is fresh. *)

@@ -140,6 +140,20 @@ let max_utilization t =
 
 let total_exec j = Array.fold_left (fun acc s -> acc + s.exec) 0 j.steps
 
+(* Horizon suggestion shared by every front end (CLI, batch service, fuzz
+   harness, experiments): releases cover ten of the longest period, with
+   equal slack after the release window for in-flight instances to drain. *)
+let suggested_horizons t =
+  let max_period = ref Time.ticks_per_unit in
+  Array.iter
+    (fun j ->
+      match Arrival.rate_per_tick_denominator j.arrival with
+      | Some p -> if p > !max_period then max_period := p
+      | None -> ())
+    t.jobs;
+  let release_horizon = 10 * !max_period in
+  (release_horizon, 2 * release_horizon)
+
 let pp ppf t =
   Format.fprintf ppf "@[<v>system: %d processors, %d jobs@," (processor_count t)
     (job_count t);

@@ -65,4 +65,11 @@ val max_utilization : t -> float option
 val total_exec : job -> int
 (** Sum of the chain's execution times (the job's end-to-end demand). *)
 
+val suggested_horizons : t -> int * int
+(** [(release_horizon, horizon)] matched to the system's periods: releases
+    cover ten of the longest period (at least ten time units when no
+    pattern has a period), with equal slack for in-flight instances to
+    drain.  The single source of the defaulting rule used by
+    [Rta_core.Analysis], the CLI and the batch service. *)
+
 val pp : Format.formatter -> t -> unit

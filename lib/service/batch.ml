@@ -1,21 +1,16 @@
 open Rta_model
 module Json = Rta_obs.Json
 
-type estimator = [ `Direct | `Sum ]
-
 type request = {
   id : string option;
   spec : string;
   auto_prio : bool;
-  estimator : estimator;
-  release_horizon : int option;
-  horizon : int option;
-  deadline_s : float option;
+  config : Rta_core.Analysis.config;
 }
 
-let request ?id ?(auto_prio = false) ?(estimator = `Direct) ?release_horizon
-    ?horizon ?deadline_s spec =
-  { id; spec; auto_prio; estimator; release_horizon; horizon; deadline_s }
+let request ?id ?(auto_prio = false) ?(config = Rta_core.Analysis.default) spec
+    =
+  { id; spec; auto_prio; config }
 
 type verdict = { job_name : string; bound : int option }
 
@@ -60,6 +55,19 @@ let request_of_json ?(defaults = request "") json =
         | Some (Json.Int i) when i > 0 -> Ok (Some i)
         | Some _ -> Error (Printf.sprintf "%S must be a positive integer" name)
       in
+      let* () =
+        (* Wire-format versioning: absent means version 1 (the format of
+           this build); any other major version is rejected up front so a
+           future client never gets a silently misinterpreted answer. *)
+        match List.assoc_opt "schema_version" fields with
+        | None | Some (Json.Int 1) -> Ok ()
+        | Some (Json.Int v) ->
+            Error
+              (Printf.sprintf
+                 "unsupported schema_version %d (this build speaks version 1)"
+                 v)
+        | Some _ -> Error "\"schema_version\" must be an integer"
+      in
       let* spec =
         match List.assoc_opt "spec" fields with
         | Some (Json.String s) -> Ok s
@@ -82,7 +90,7 @@ let request_of_json ?(defaults = request "") json =
       let* estimator =
         let* s = str_field "estimator" in
         match s with
-        | None -> Ok defaults.estimator
+        | None -> Ok defaults.config.Rta_core.Analysis.estimator
         | Some "direct" -> Ok `Direct
         | Some "sum" -> Ok `Sum
         | Some other ->
@@ -91,19 +99,32 @@ let request_of_json ?(defaults = request "") json =
                  "unknown estimator %S (expected \"direct\" or \"sum\")" other)
       in
       let* horizon = pos_int_field "horizon" in
-      let horizon = match horizon with None -> defaults.horizon | h -> h in
+      let horizon =
+        match horizon with
+        | None -> defaults.config.Rta_core.Analysis.horizon
+        | h -> h
+      in
       let* release_horizon = pos_int_field "release_horizon" in
       let release_horizon =
-        match release_horizon with None -> defaults.release_horizon | h -> h
+        match release_horizon with
+        | None -> defaults.config.Rta_core.Analysis.release_horizon
+        | h -> h
       in
       let* deadline_s =
         match List.assoc_opt "deadline_ms" fields with
-        | None -> Ok defaults.deadline_s
+        | None -> Ok defaults.config.Rta_core.Analysis.deadline_s
         | Some (Json.Int ms) when ms >= 0 -> Ok (Some (float_of_int ms /. 1e3))
         | Some (Json.Float ms) when ms >= 0. -> Ok (Some (ms /. 1e3))
         | Some _ -> Error "\"deadline_ms\" must be a non-negative number"
       in
-      Ok { id; spec; auto_prio; estimator; release_horizon; horizon; deadline_s }
+      Ok
+        {
+          id;
+          spec;
+          auto_prio;
+          config =
+            { Rta_core.Analysis.estimator; release_horizon; horizon; deadline_s };
+        }
   | _ -> Error "request line must be a JSON object"
 
 let request_of_line ?defaults line =
@@ -129,25 +150,15 @@ let request_h = Rta_obs.histogram "service.request.seconds"
 (* Batch execution                                                     *)
 (* ------------------------------------------------------------------ *)
 
-(* Same defaulting as the CLI's analyze command, so `rta batch` and
-   N separate `rta analyze` runs resolve identical horizons. *)
-let resolve_horizons system ~release_horizon ~horizon =
-  let suggested_release, suggested =
-    Rta_workload.Jobshop.suggested_horizons system
-  in
-  let release_horizon = Option.value ~default:suggested_release release_horizon in
-  let horizon = Option.value ~default:(max suggested (2 * release_horizon)) horizon in
-  (release_horizon, horizon)
+(* The defaulting rule lives in one place (Analysis.resolve_horizons, built
+   on System.suggested_horizons), so `rta batch` and N separate
+   `rta analyze` runs resolve identical horizons by construction. *)
+let resolve_horizons system ~config =
+  Rta_core.Analysis.resolve_horizons config system
 
 type prepared =
   | P_invalid of string
-  | P_ready of {
-      req : request;
-      system : System.t;
-      release_horizon : int;
-      horizon : int;
-      key : Key.t;
-    }
+  | P_ready of { req : request; system : System.t; key : Key.t }
 
 let prepare = function
   | Error e -> P_invalid e
@@ -170,23 +181,11 @@ let prepare = function
           with
           | Error e -> P_invalid (Printf.sprintf "auto_prio: %s" e)
           | Ok system ->
-              let release_horizon, horizon =
-                resolve_horizons system ~release_horizon:req.release_horizon
-                  ~horizon:req.horizon
-              in
               P_ready
-                {
-                  req;
-                  system;
-                  release_horizon;
-                  horizon;
-                  key =
-                    Key.of_system ~estimator:req.estimator ~release_horizon
-                      ~horizon system;
-                }))
+                { req; system; key = Key.of_system ~config:req.config system }))
 
-let analyze_ready ~system ~estimator ~release_horizon ~horizon =
-  let report = Rta_core.Analysis.run ~estimator ~release_horizon ~horizon system in
+let analyze_ready ~system ~config =
+  let report = Rta_core.Analysis.run ~config system in
   {
     method_used = report.Rta_core.Analysis.method_used;
     schedulable = report.Rta_core.Analysis.schedulable;
@@ -201,8 +200,8 @@ let analyze_ready ~system ~estimator ~release_horizon ~horizon =
               | Rta_core.Analysis.Unbounded -> None);
           })
         report.Rta_core.Analysis.per_job;
-    release_horizon;
-    horizon;
+    release_horizon = report.Rta_core.Analysis.release_horizon;
+    horizon = report.Rta_core.Analysis.horizon;
   }
 
 let method_tag = function
@@ -239,7 +238,7 @@ let run ?(jobs = 1) ?(index_base = 0) ?cache requests =
   let task i =
     match prepared.(i) with
     | P_invalid e -> statuses.(i) <- Invalid e
-    | P_ready { req; system; release_horizon; horizon; key } ->
+    | P_ready { req; system; key } ->
         let sp = Rta_obs.span_begin "service.request" in
         if Rta_obs.enabled () then begin
           Rta_obs.span_int sp "index" (index_base + i);
@@ -247,7 +246,7 @@ let run ?(jobs = 1) ?(index_base = 0) ?cache requests =
         end;
         let t0 = Rta_obs.now () in
         let deadline_hit =
-          match req.deadline_s with
+          match req.config.Rta_core.Analysis.deadline_s with
           | Some d -> Rta_obs.now () -. started > d
           | None -> false
         in
@@ -256,8 +255,7 @@ let run ?(jobs = 1) ?(index_base = 0) ?cache requests =
           else
             match
               Cache.find_or_compute cache ~key:(Key.to_hex key) (fun () ->
-                  analyze_ready ~system ~estimator:req.estimator
-                    ~release_horizon ~horizon)
+                  analyze_ready ~system ~config:req.config)
             with
             | `Hit a | `Miss a -> Analyzed a
             | exception e -> Failed (Printexc.to_string e)
@@ -307,7 +305,9 @@ let run ?(jobs = 1) ?(index_base = 0) ?cache requests =
 
 let response_json r =
   let id = match r.id with Some id -> [ ("id", Json.String id) ] | None -> [] in
-  let base = ("index", Json.Int r.index) :: id in
+  let base =
+    ("schema_version", Json.Int 1) :: ("index", Json.Int r.index) :: id
+  in
   let fields =
     match r.status with
     | Analyzed a ->

@@ -20,40 +20,32 @@
     None of these affect the other requests of the batch, and failures
     are never cached. *)
 
-type estimator = [ `Direct | `Sum ]
-
 type request = {
   id : string option;  (** echoed verbatim in the response *)
   spec : string;  (** textual system description ({!Rta_model.Parser}) *)
   auto_prio : bool;  (** apply the Eq. 24 deadline-monotonic assignment *)
-  estimator : estimator;
-  release_horizon : int option;  (** ticks; derived from the periods if absent *)
-  horizon : int option;  (** ticks; derived if absent *)
-  deadline_s : float option;
-      (** drop the request ([Timed_out]) if a worker has not started it
-          within this many seconds of batch submission *)
+  config : Rta_core.Analysis.config;
+      (** how to analyze: estimator, horizons, request deadline
+          ([config.deadline_s] drops the request as [Timed_out] if a worker
+          has not started it within that many seconds of batch
+          submission) *)
 }
 
 val request :
-  ?id:string ->
-  ?auto_prio:bool ->
-  ?estimator:estimator ->
-  ?release_horizon:int ->
-  ?horizon:int ->
-  ?deadline_s:float ->
-  string ->
-  request
-(** [request spec] with defaults: no id, no auto-prio, [`Direct], derived
-    horizons, no deadline. *)
+  ?id:string -> ?auto_prio:bool -> ?config:Rta_core.Analysis.config -> string -> request
+(** [request spec] with defaults: no id, no auto-prio,
+    {!Rta_core.Analysis.default} (direct estimator, derived horizons, no
+    deadline). *)
 
 val request_of_json :
   ?defaults:request -> Rta_obs.Json.t -> (request, string) result
 (** Decode [{"spec": "...", ...}].  Recognized fields: [spec] (required),
+    [schema_version] (integer; absent means 1, anything else is rejected),
     [id] (string or int), [auto_prio] (bool), [estimator] ("direct" |
     "sum"), [horizon] and [release_horizon] (positive int ticks),
     [deadline_ms] (non-negative number).  Unknown fields are ignored.
     Absent fields default to [defaults] (itself defaulting to
-    [request ""]). *)
+    [request ""]).  See doc/BATCH.md for the wire format. *)
 
 val request_of_line : ?defaults:request -> string -> (request, string) result
 (** {!request_of_json} over one parsed NDJSON line. *)
@@ -82,12 +74,10 @@ type response = {
 }
 
 val resolve_horizons :
-  Rta_model.System.t ->
-  release_horizon:int option ->
-  horizon:int option ->
-  int * int
-(** The defaulting rule shared with [rta analyze]: suggested horizons from
-    the periods, [horizon >= 2 * release_horizon]. *)
+  Rta_model.System.t -> config:Rta_core.Analysis.config -> int * int
+(** The horizons the batch will analyze [system] with: delegates to
+    {!Rta_core.Analysis.resolve_horizons}, the single home of the
+    defaulting rule shared with [rta analyze]. *)
 
 val run :
   ?jobs:int ->
@@ -105,6 +95,9 @@ val run :
     gauge and per-request [service.request] spans into {!Rta_obs}. *)
 
 val response_json : response -> Rta_obs.Json.t
+(** Always carries [("schema_version", 1)] as its first field; see
+    doc/BATCH.md for the full wire format. *)
+
 val response_line : response -> string
 (** One compact NDJSON line (no trailing newline). *)
 

@@ -4,17 +4,24 @@ let canonical_spec system = Rta_model.Parser.print system
 
 let estimator_tag = function `Direct -> "direct" | `Sum -> "sum"
 
-let of_system ~estimator ~release_horizon ~horizon system =
+let of_system ~config system =
   (* Everything the analysis result depends on, NUL-separated so no field
      can run into the next: a format version, the tick granularity, the
-     analysis parameters, and the canonicalized system (parse + re-print
-     normalizes whitespace, comments, key order and number formatting). *)
+     analysis parameters with horizons RESOLVED (an explicit horizon equal
+     to the derived default hashes identically), and the canonicalized
+     system (parse + re-print normalizes whitespace, comments, key order
+     and number formatting).  [config.deadline_s] is deliberately absent:
+     a request deadline changes whether the analysis runs, never its
+     result. *)
+  let release_horizon, horizon =
+    Rta_core.Analysis.resolve_horizons config system
+  in
   let canonical =
     String.concat "\x00"
       [
-        "rta-key/1";
+        "rta-key/2";
         string_of_int Rta_model.Time.ticks_per_unit;
-        estimator_tag estimator;
+        estimator_tag config.Rta_core.Analysis.estimator;
         string_of_int release_horizon;
         string_of_int horizon;
         canonical_spec system;

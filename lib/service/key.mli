@@ -5,17 +5,18 @@
     formatting, comments and field order do not matter — the system is
     parsed and re-printed), same scheduler assignment (part of the
     canonical spec), same tick granularity, same estimator and same
-    resolved horizons. *)
+    {e resolved} horizons. *)
 
 type t = private string
-(** Hex MD5 digest of the canonical request description. *)
+(** Hex MD5 digest of the canonical request description
+    (format ["rta-key/2"]). *)
 
-val of_system :
-  estimator:[ `Direct | `Sum ] ->
-  release_horizon:int ->
-  horizon:int ->
-  Rta_model.System.t ->
-  t
+val of_system : config:Rta_core.Analysis.config -> Rta_model.System.t -> t
+(** The key of analyzing [system] under [config].  Horizons are resolved
+    ({!Rta_core.Analysis.resolve_horizons}) before hashing, so an explicit
+    horizon equal to the derived default yields the same key as omitting
+    it.  [config.deadline_s] does not participate: a request deadline
+    changes whether the analysis runs, never its result. *)
 
 val canonical_spec : Rta_model.System.t -> string
 (** The canonical textual form used in the digest

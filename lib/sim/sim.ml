@@ -15,6 +15,7 @@ type instance_record = {
 
 type result = {
   horizon : int;
+  release_horizon : int;
   per_job : instance_record array array;
   departures : Rta_curve.Step.t array array;
   busy : Rta_curve.Pl.t array;
@@ -263,11 +264,19 @@ let run ?release_horizon system ~horizon =
   Obs.span_end sp_run;
   {
     horizon;
+    release_horizon;
     per_job;
     departures;
     busy = Array.map Accum.to_pl busy_acc;
     service = Array.map (Array.map Accum.to_pl) service_acc;
   }
+
+let arrival_function result system (id : Rta_model.System.subjob_id) =
+  if id.step = 0 then
+    Rta_model.Arrival.arrival_function
+      (Rta_model.System.job system id.job).Rta_model.System.arrival
+      ~horizon:result.release_horizon
+  else result.departures.(id.job).(id.step - 1)
 
 let worst_response result j =
   Array.fold_left

@@ -27,6 +27,8 @@ type instance_record = {
 
 type result = {
   horizon : int;
+  release_horizon : int;
+      (** the release horizon the run used (defaulted to [horizon]) *)
   per_job : instance_record array array;  (** indexed by job, then instance-1 *)
   departures : Rta_curve.Step.t array array;
       (** [departures.(j).(s)] is the simulated departure function of subjob
@@ -43,6 +45,14 @@ val run : ?release_horizon:int -> Rta_model.System.t -> horizon:int -> result
 (** Simulate over [0, horizon].  First-stage releases are taken in
     [0, release_horizon] (default [horizon]) — pass the same value used for
     the analysis when comparing the two. *)
+
+val arrival_function :
+  result -> Rta_model.System.t -> Rta_model.System.subjob_id -> Rta_curve.Step.t
+(** The simulated arrival function of a subjob: for a first-stage subjob,
+    the release trace over [release_horizon] ({!Rta_model.Arrival.arrival_function});
+    for a later stage, the simulated departure function of its predecessor
+    (Direct Synchronization: departures of stage [s-1] are arrivals of
+    stage [s]). *)
 
 val worst_response : result -> int -> int option
 (** Largest end-to-end response among the job's instances that completed

@@ -99,14 +99,4 @@ let generate c ~rng =
   let jobs = Priority.deadline_monotonic jobs in
   System.make_exn ~schedulers:(Array.make n_procs c.sched) ~jobs
 
-let suggested_horizons system =
-  let max_period = ref Time.ticks_per_unit in
-  for j = 0 to System.job_count system - 1 do
-    match
-      Arrival.rate_per_tick_denominator (System.job system j).System.arrival
-    with
-    | Some p -> if p > !max_period then max_period := p
-    | None -> ()
-  done;
-  let release_horizon = 10 * !max_period in
-  (release_horizon, 2 * release_horizon)
+let suggested_horizons = System.suggested_horizons

@@ -60,6 +60,5 @@ val generate : config -> rng:Rng.t -> Rta_model.System.t
     rng state. *)
 
 val suggested_horizons : Rta_model.System.t -> int * int
-(** [(release_horizon, horizon)] matched to the system's periods: releases
-    cover ten of the longest period, with equal slack for in-flight
-    instances to drain. *)
+(** Alias of {!Rta_model.System.suggested_horizons}, kept for callers that
+    already work through this module. *)

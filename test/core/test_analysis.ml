@@ -15,6 +15,7 @@ module Sg = Rta_testsupport.Sysgen
 
 let horizon = 400
 let release_horizon = 200
+let cfg = Rta_core.Analysis.config ~release_horizon ~horizon ()
 
 let check_int = Alcotest.(check int)
 
@@ -451,7 +452,7 @@ let test_analysis_facade () =
       [ job "A" (Arrival.Periodic { period = 10; offset = 0 })
           [ { System.proc = 0; exec = 3; prio = 1 } ] ]
   in
-  let r = Rta_core.Analysis.run ~release_horizon ~horizon spp in
+  let r = Rta_core.Analysis.run ~config:cfg spp in
   Alcotest.(check bool) "exact" true (r.Rta_core.Analysis.method_used = `Exact);
   Alcotest.(check bool) "schedulable" true r.Rta_core.Analysis.schedulable;
   let spnp =
@@ -459,10 +460,10 @@ let test_analysis_facade () =
       [ job "A" (Arrival.Periodic { period = 10; offset = 0 })
           [ { System.proc = 0; exec = 3; prio = 1 } ] ]
   in
-  let r2 = Rta_core.Analysis.run ~release_horizon ~horizon spnp in
+  let r2 = Rta_core.Analysis.run ~config:cfg spnp in
   Alcotest.(check bool) "approx" true
     (r2.Rta_core.Analysis.method_used = `Approximate);
-  let r3 = Rta_core.Analysis.run ~release_horizon ~horizon (cyclic_system ()) in
+  let r3 = Rta_core.Analysis.run ~config:cfg (cyclic_system ()) in
   Alcotest.(check bool) "fixpoint" true
     (r3.Rta_core.Analysis.method_used = `Fixpoint)
 
@@ -907,13 +908,13 @@ let test_priority_search_beats_dm () =
           [ { System.proc = 0; exec = 6; prio = 2 } ];
       ]
   in
-  let r = Rta_core.Analysis.run ~release_horizon ~horizon s in
+  let r = Rta_core.Analysis.run ~config:cfg s in
   Alcotest.(check bool) "as given misses" false r.Rta_core.Analysis.schedulable;
-  match Rta_core.Priority_search.search ~release_horizon ~horizon s with
+  match Rta_core.Priority_search.search ~config:cfg s with
   | Rta_core.Priority_search.Schedulable fixed ->
       check_int "T2 promoted" 1 (System.job fixed 1).System.steps.(0).System.prio;
       Alcotest.(check bool) "admitted" true
-        (Rta_core.Analysis.run ~release_horizon ~horizon fixed)
+        (Rta_core.Analysis.run ~config:cfg fixed)
           .Rta_core.Analysis.schedulable
   | Rta_core.Priority_search.No_assignment_found _ ->
       Alcotest.fail "search should find the swap"
@@ -928,7 +929,7 @@ let test_priority_search_infeasible () =
           [ { System.proc = 0; exec = 6; prio = 2 } ];
       ]
   in
-  match Rta_core.Priority_search.search ~release_horizon ~horizon s with
+  match Rta_core.Priority_search.search ~config:cfg s with
   | Rta_core.Priority_search.Schedulable _ -> Alcotest.fail "overload admitted"
   | Rta_core.Priority_search.No_assignment_found { exhaustive; tried } ->
       Alcotest.(check bool) "exhaustive" true exhaustive;
@@ -945,8 +946,7 @@ let test_sensitivity_scaling () =
           [ { System.proc = 0; exec = 2; prio = 1 } ] ]
   in
   match
-    Rta_core.Sensitivity.critical_scaling ~upper_limit:10.0 ~release_horizon
-      ~horizon s
+    Rta_core.Sensitivity.critical_scaling ~upper_limit:10.0 ~config:cfg s
   with
   | Some lambda ->
       (* ceil(2 * lambda) <= 10 iff lambda <= 5. *)
@@ -971,7 +971,7 @@ let test_sensitivity_infeasible () =
         |]
   in
   Alcotest.(check bool) "infeasible" true
-    (Rta_core.Sensitivity.critical_scaling ~release_horizon ~horizon s = None)
+    (Rta_core.Sensitivity.critical_scaling ~config:cfg s = None)
 
 let test_sensitivity_scale_executions () =
   let s =

@@ -73,6 +73,19 @@ let test_step_truncate () =
   check_bool "same up to 4" true
     (Step.equal g (Step.of_arrival_times [| 1; 4 |]))
 
+let test_step_eval_left_jumps () =
+  (* A double release at t = 0: the left limit there is still the
+     pre-release value, not f(0). *)
+  let f = Step.of_arrival_times [| 0; 0; 5 |] in
+  check_int "f(0) sees the jump" 2 (Step.eval f 0);
+  check_int "left limit at 0 does not" 0 (Step.eval_left f 0);
+  check_int "left limit just after the jump" 2 (Step.eval_left f 1);
+  check_int "left limit at a later jump" 2 (Step.eval_left f 5);
+  check_int "and just after it" 3 (Step.eval_left f 6);
+  (* No jumps at all: both limits coincide everywhere. *)
+  check_int "constant left limit" 4 (Step.eval_left (Step.const 4) 0);
+  check_int "constant left limit later" 4 (Step.eval_left (Step.const 4) 9)
+
 (* ------------------------------------------------------------------ *)
 (* Step: properties against the dense oracle                           *)
 (* ------------------------------------------------------------------ *)
@@ -181,6 +194,62 @@ let test_pl_splice () =
   let g = Pl.splice ~at:0 (Pl.const 9) Pl.identity in
   check_int "at 0" 9 (Pl.eval g 0);
   check_int "from 1" 1 (Pl.eval g 1)
+
+let test_pl_inverse_edges () =
+  (* Ramp, flat plateau, then a second ramp: the pseudo-inverse must pick
+     the plateau's left edge, not anywhere inside it. *)
+  let f = Pl.of_knots ~tail:0 [ (0, 0); (2, 2); (8, 2); (10, 4) ] in
+  Alcotest.(check (option int)) "plateau left edge" (Some 2) (Pl.inverse_geq f 2);
+  Alcotest.(check (option int)) "resumes on second ramp" (Some 9)
+    (Pl.inverse_geq f 3);
+  Alcotest.(check (option int)) "top of second ramp" (Some 10)
+    (Pl.inverse_geq f 4);
+  Alcotest.(check (option int)) "flat tail never reaches" None
+    (Pl.inverse_geq f 5);
+  (* Targets at or below f(0) are met immediately. *)
+  Alcotest.(check (option int)) "v = 0 at t = 0" (Some 0) (Pl.inverse_geq f 0);
+  Alcotest.(check (option int)) "below initial value" (Some 0)
+    (Pl.inverse_geq (Pl.const 5) 3);
+  Alcotest.(check (option int)) "const never grows" None
+    (Pl.inverse_geq (Pl.const 5) 6);
+  (* Steep tail: integer grid rounds up to the next tick. *)
+  let g = Pl.of_knots ~tail:3 [ (0, 0) ] in
+  Alcotest.(check (option int)) "slope-3 tail, exact" (Some 3)
+    (Pl.inverse_geq g 9);
+  Alcotest.(check (option int)) "slope-3 tail, rounded up" (Some 3)
+    (Pl.inverse_geq g 7)
+
+let test_pl_splice_edges () =
+  (* Splicing at 0 keeps exactly one point of [before]. *)
+  let f = Pl.splice ~at:0 Pl.identity (Pl.const 2) in
+  check_int "before at 0" 0 (Pl.eval f 0);
+  check_int "after from 1" 2 (Pl.eval f 1);
+  (* Splice of a function with itself is that function. *)
+  let g = Pl.of_knots ~tail:2 [ (0, 1); (4, 5) ] in
+  check_bool "self-splice is identity" true (Pl.equal (Pl.splice ~at:4 g g) g);
+  (* Splice point beyond both functions' knots: the tails govern. *)
+  let s = Pl.splice ~at:100 Pl.zero Pl.identity in
+  check_int "deep before" 0 (Pl.eval s 100);
+  check_int "deep after" 101 (Pl.eval s 101)
+
+let test_pl_truncate_edges () =
+  (* Truncating at 0 freezes the whole curve at f(0). *)
+  let f = Pl.of_knots ~tail:2 [ (0, 3); (5, 8) ] in
+  let t0 = Pl.truncate_at f 0 in
+  check_int "frozen at f(0)" 3 (Pl.eval t0 0);
+  check_int "still frozen later" 3 (Pl.eval t0 50);
+  check_bool "truncation is constant" true (Pl.equal t0 (Pl.const 3));
+  (* Truncating exactly at the last knot only kills the tail. *)
+  let t5 = Pl.truncate_at f 5 in
+  check_int "agrees at cut" 8 (Pl.eval t5 5);
+  check_int "tail removed" 8 (Pl.eval t5 100);
+  check_int "interior intact" 4 (Pl.eval t5 1);
+  (* Truncating past all knots changes only the tail slope. *)
+  let t9 = Pl.truncate_at f 9 in
+  check_int "tail kept up to cut" 16 (Pl.eval t9 9);
+  check_int "flat beyond cut" 16 (Pl.eval t9 1000);
+  (* Idempotence. *)
+  check_bool "idempotent" true (Pl.equal (Pl.truncate_at t5 5) t5)
 
 let test_pl_floor_div () =
   (* S(t) ramps 0..10 over [0,10]; tau = 3: departures at 3, 6, 9. *)
@@ -610,6 +679,7 @@ let () =
           Alcotest.test_case "shift" `Quick test_step_shift;
           Alcotest.test_case "zero/const" `Quick test_step_zero_const;
           Alcotest.test_case "truncate" `Quick test_step_truncate;
+          Alcotest.test_case "eval_left at jumps" `Quick test_step_eval_left_jumps;
         ] );
       ( "step.props",
         [
@@ -628,7 +698,10 @@ let () =
           Alcotest.test_case "identity" `Quick test_pl_identity;
           Alcotest.test_case "normal form" `Quick test_pl_normal_form;
           Alcotest.test_case "inverse" `Quick test_pl_inverse;
+          Alcotest.test_case "inverse edge cases" `Quick test_pl_inverse_edges;
           Alcotest.test_case "splice" `Quick test_pl_splice;
+          Alcotest.test_case "splice edge cases" `Quick test_pl_splice_edges;
+          Alcotest.test_case "truncate edge cases" `Quick test_pl_truncate_edges;
           Alcotest.test_case "floor_div" `Quick test_pl_floor_div;
           Alcotest.test_case "of_step" `Quick test_pl_of_step;
           Alcotest.test_case "sup" `Quick test_pl_sup;

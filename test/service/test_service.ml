@@ -78,17 +78,39 @@ let parse_exn spec =
   | Ok s -> s
   | Error e -> Alcotest.failf "spec should parse: %s" e
 
+let cfg ?(estimator = `Direct) ?(release_horizon = 50) ?(horizon = 100) () =
+  Rta_core.Analysis.config ~estimator ~release_horizon ~horizon ()
+
 let test_key_canonicalization () =
   let a = parse_exn sample_spec and b = parse_exn noisy_spec in
-  let key sys = Key.of_system ~estimator:`Direct ~release_horizon:50 ~horizon:100 sys in
+  let key sys = Key.of_system ~config:(cfg ()) sys in
   check_string "formatting does not change the key" (Key.to_hex (key a))
     (Key.to_hex (key b));
-  let k_sum = Key.of_system ~estimator:`Sum ~release_horizon:50 ~horizon:100 a in
+  let k_sum = Key.of_system ~config:(cfg ~estimator:`Sum ()) a in
   check_bool "estimator is part of the key" false (Key.equal (key a) k_sum);
-  let k_h = Key.of_system ~estimator:`Direct ~release_horizon:50 ~horizon:200 a in
+  let k_h = Key.of_system ~config:(cfg ~horizon:200 ()) a in
   check_bool "horizon is part of the key" false (Key.equal (key a) k_h);
-  let k_rh = Key.of_system ~estimator:`Direct ~release_horizon:25 ~horizon:100 a in
-  check_bool "release horizon is part of the key" false (Key.equal (key a) k_rh)
+  let k_rh = Key.of_system ~config:(cfg ~release_horizon:25 ()) a in
+  check_bool "release horizon is part of the key" false (Key.equal (key a) k_rh);
+  (* The key hashes the RESOLVED config: a request deadline does not
+     change the analysis result, and spelling out the derived default
+     horizons hashes like omitting them. *)
+  let k_deadline =
+    Key.of_system
+      ~config:{ (cfg ()) with Rta_core.Analysis.deadline_s = Some 1.0 }
+      a
+  in
+  check_bool "deadline_s is not part of the key" true
+    (Key.equal (key a) k_deadline);
+  let k_default = Key.of_system ~config:Rta_core.Analysis.default a in
+  let rh, h =
+    Rta_core.Analysis.resolve_horizons Rta_core.Analysis.default a
+  in
+  let k_explicit =
+    Key.of_system ~config:(Rta_core.Analysis.config ~release_horizon:rh ~horizon:h ()) a
+  in
+  check_bool "explicit default horizons hash identically" true
+    (Key.equal k_default k_explicit)
 
 (* ------------------------------------------------------------------ *)
 (* Cache                                                               *)
@@ -161,12 +183,10 @@ let test_differential_vs_sequential_analyze () =
     (fun i response ->
       let req = match requests.(i) with Ok r -> r | Error _ -> assert false in
       let system = parse_exn req.Batch.spec in
-      let release_horizon, horizon =
-        Batch.resolve_horizons system ~release_horizon:None ~horizon:None
+      let _, horizon =
+        Batch.resolve_horizons system ~config:Rta_core.Analysis.default
       in
-      let report =
-        Rta_core.Analysis.run ~estimator:`Direct ~release_horizon ~horizon system
-      in
+      let report = Rta_core.Analysis.run system in
       match response.Batch.status with
       | Batch.Analyzed a ->
           check_bool "same schedulability as a direct Analysis.run" true
@@ -222,7 +242,10 @@ let test_inflight_dedup () =
 let test_deadline_timeout () =
   let requests =
     [|
-      Ok (Batch.request ~id:"expired" ~deadline_s:(-1.) (spec_of_seed 2));
+      Ok
+        (Batch.request ~id:"expired"
+           ~config:(Rta_core.Analysis.config ~deadline_s:(-1.) ())
+           (spec_of_seed 2));
       Ok (Batch.request ~id:"fine" (spec_of_seed 2));
     |]
   in
@@ -234,7 +257,7 @@ let test_deadline_timeout () =
   | Batch.Analyzed _ -> ()
   | _ -> Alcotest.fail "timeout must not leak onto the other request");
   check_string "timeout renders as a structured line"
-    {|{"index":0,"id":"expired","status":"timeout"}|}
+    {|{"schema_version":1,"index":0,"id":"expired","status":"timeout"}|}
     (Batch.response_line responses.(0))
 
 (* ------------------------------------------------------------------ *)
@@ -257,14 +280,22 @@ let test_request_decoding () =
       {|{"id": 7, "spec": "processors spp\n", "estimator": "sum", "auto_prio": true, "horizon": 99, "deadline_ms": 250}|}
   in
   check_bool "int id is stringified" true (r.Batch.id = Some "7");
-  check_bool "estimator decoded" true (r.Batch.estimator = `Sum);
+  check_bool "estimator decoded" true
+    (r.Batch.config.Rta_core.Analysis.estimator = `Sum);
   check_bool "auto_prio decoded" true r.Batch.auto_prio;
-  check_bool "horizon decoded" true (r.Batch.horizon = Some 99);
-  check_bool "deadline decoded" true (r.Batch.deadline_s = Some 0.25);
+  check_bool "horizon decoded" true
+    (r.Batch.config.Rta_core.Analysis.horizon = Some 99);
+  check_bool "deadline decoded" true
+    (r.Batch.config.Rta_core.Analysis.deadline_s = Some 0.25);
   let d = ok {|{"spec": "processors spp\n"}|} in
   check_bool "defaults" true
     (d.Batch.id = None && (not d.Batch.auto_prio)
-    && d.Batch.estimator = `Direct && d.Batch.horizon = None);
+    && d.Batch.config = Rta_core.Analysis.default);
+  let v1 = ok {|{"spec": "processors spp\n", "schema_version": 1}|} in
+  check_bool "schema_version 1 accepted" true
+    (v1.Batch.config = Rta_core.Analysis.default);
+  reject "future schema_version" {|{"spec": "processors spp\n", "schema_version": 2}|};
+  reject "non-integer schema_version" {|{"spec": "processors spp\n", "schema_version": "1"}|};
   reject "not JSON" "processors spp";
   reject "not an object" {|["processors spp"]|};
   reject "missing spec" {|{"id": "x"}|};
@@ -278,6 +309,8 @@ let test_response_roundtrips_as_json () =
   match Json.of_string (Batch.response_line responses.(0)) with
   | Error e -> Alcotest.failf "response line is not valid JSON: %s" e
   | Ok (Json.Obj fields) ->
+      check_bool "schema_version" true
+        (List.assoc_opt "schema_version" fields = Some (Json.Int 1));
       check_bool "index" true (List.assoc_opt "index" fields = Some (Json.Int 0));
       check_bool "id" true (List.assoc_opt "id" fields = Some (Json.String "r0"));
       check_bool "status" true
