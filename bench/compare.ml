@@ -1,0 +1,107 @@
+(* Kernel-regression gate: compare the curve_kernels section of a fresh
+   bench JSON against the committed baseline.
+
+     compare.exe BENCH_baseline.json BENCH_rta.json [--max-regression 1.25]
+
+   The gate is on the SPEEDUP ratio (reference ns / optimized ns), not on
+   absolute nanoseconds: the baseline is committed once and CI runs on
+   whatever hardware it gets, but the ratio between two lanes measured on
+   the same machine in the same process is portable.  A case fails when
+
+     fresh_speedup < baseline_speedup / max_regression
+
+   i.e. the optimized kernel lost more than (max_regression - 1) of its
+   advantage over the frozen reference implementation.  Speedups are
+   clamped to [cap] (50x) on both sides first: kernels running hundreds of
+   times faster than reference finish in microseconds, where timer jitter
+   alone moves the ratio by 30-40% between identical runs — beyond the cap
+   the gate saturates rather than flaking.  Cases present in only one file
+   are reported but do not fail the gate (benchmarks may be added or
+   renamed); an empty curve_kernels section in the fresh file fails
+   loudly. *)
+
+module Json = Rta_obs.Json
+
+let die fmt = Printf.ksprintf (fun s -> prerr_endline s; exit 2) fmt
+
+let read_json path =
+  let ic = try open_in_bin path with Sys_error m -> die "cannot open %s" m in
+  let contents =
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  match Json.of_string contents with
+  | Ok v -> v
+  | Error m -> die "%s: invalid JSON: %s" path m
+
+let cap = 50.0
+
+let number = function
+  | Json.Int i -> Some (float_of_int i)
+  | Json.Float f -> Some f
+  | _ -> None
+
+(* name -> speedup, from the curve_kernels list of a bench document. *)
+let speedups path doc =
+  match doc with
+  | Json.Obj fields -> (
+      match List.assoc_opt "curve_kernels" fields with
+      | Some (Json.List cases) ->
+          List.filter_map
+            (fun case ->
+              match case with
+              | Json.Obj kv -> (
+                  match
+                    ( List.assoc_opt "name" kv,
+                      Option.bind (List.assoc_opt "speedup" kv) number )
+                  with
+                  | Some (Json.String name), Some s -> Some (name, s)
+                  | _ -> None)
+              | _ -> None)
+            cases
+      | Some _ | None -> die "%s: no curve_kernels section" path)
+  | _ -> die "%s: not a JSON object" path
+
+let () =
+  let args = Array.to_list Sys.argv in
+  let baseline_path, fresh_path, max_regression =
+    match args with
+    | [ _; b; f ] -> (b, f, 1.25)
+    | [ _; b; f; "--max-regression"; r ] -> (
+        match float_of_string_opt r with
+        | Some r when r >= 1.0 -> (b, f, r)
+        | _ -> die "invalid --max-regression %s" r)
+    | _ ->
+        die "usage: compare.exe BASELINE.json FRESH.json [--max-regression R]"
+  in
+  let baseline = speedups baseline_path (read_json baseline_path) in
+  let fresh = speedups fresh_path (read_json fresh_path) in
+  if fresh = [] then die "%s: empty curve_kernels section" fresh_path;
+  let failures = ref 0 in
+  Printf.printf "%-28s %10s %10s %8s\n" "case" "baseline" "fresh" "verdict";
+  List.iter
+    (fun (name, base_s) ->
+      match List.assoc_opt name fresh with
+      | None -> Printf.printf "%-28s %9.1fx %10s %8s\n" name base_s "-" "missing"
+      | Some fresh_s ->
+          let ok = min fresh_s cap >= min base_s cap /. max_regression in
+          if not ok then incr failures;
+          Printf.printf "%-28s %9.1fx %9.1fx %8s\n" name base_s fresh_s
+            (if ok then "ok" else "FAIL"))
+    baseline;
+  List.iter
+    (fun (name, fresh_s) ->
+      if not (List.mem_assoc name baseline) then
+        Printf.printf "%-28s %10s %9.1fx %8s\n" name "-" fresh_s "new")
+    fresh;
+  if !failures > 0 then begin
+    Printf.printf
+      "\n%d kernel speedup(s) regressed by more than %.0f%% vs %s\n" !failures
+      ((max_regression -. 1.0) *. 100.)
+      baseline_path;
+    exit 1
+  end;
+  Printf.printf "\nkernel speedups within %.0f%% of %s\n"
+    ((max_regression -. 1.0) *. 100.)
+    baseline_path

@@ -13,7 +13,8 @@
      RTA_SEED   base random seed        (default 42)
      RTA_BATCH_SYSTEMS  systems in the batch-throughput section (default 1000)
      RTA_BATCH_JOBS     parallel worker count for that section  (default 8)
-     RTA_SKIP_FIGURES / RTA_SKIP_MICRO / RTA_SKIP_BATCH  set to 1 to skip
+     RTA_SKIP_FIGURES / RTA_SKIP_MICRO / RTA_SKIP_KERNELS / RTA_SKIP_BATCH
+                        set to 1 to skip
      RTA_BENCH_OUT  output path for the JSON baseline
                     (default BENCH_rta.json; empty string disables). *)
 
@@ -169,6 +170,138 @@ let micro () =
       | Some est -> Printf.printf "  %-40s %12.0f ns/run\n" name est
       | None -> Printf.printf "  %-40s (no estimate)\n" name)
     rows;
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
+(* Curve-kernel regression micro-section                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Paired optimized-vs-reference timings for the three kernels the perf
+   work targets: convolve, prefix_min and the fixpoint iteration, each at
+   three sizes.  The JSON baseline records the SPEEDUP (ref_ns / opt_ns)
+   per case; bench/compare.ml gates CI on that ratio rather than on
+   absolute nanoseconds, so the committed baseline stays meaningful across
+   machines of different speeds. *)
+
+let kernel_results : (string * float * float) list ref = ref []
+
+(* Median of 5 samples, each averaging enough repetitions for ~15ms of
+   work (calibrated from one untimed run). *)
+let median_ns f =
+  f ();
+  let t0 = Unix.gettimeofday () in
+  f ();
+  let once = Unix.gettimeofday () -. t0 in
+  let reps = min 5000 (max 1 (int_of_float (0.015 /. max 1e-9 once))) in
+  let sample () =
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to reps do
+      f ()
+    done;
+    (Unix.gettimeofday () -. t0) *. 1e9 /. float_of_int reps
+  in
+  let xs = Array.init 5 (fun _ -> sample ()) in
+  Array.sort compare xs;
+  xs.(2)
+
+(* Deterministic operands.  [pl_zigzag] has non-monotone slopes so convolve
+   takes the general (min-tree) path; [pl_convex] has strictly increasing
+   slopes so it takes the slope-merge path.  Strictly distinct slopes keep
+   normalization from merging segments, so [n] is the real knot count. *)
+let pl_zigzag n =
+  let slopes = [| 3; -2; 4; 0; -3; 1 |] and lens = [| 1; 2; 1; 3; 1; 2 |] in
+  let knots = ref [ (0, 10) ] in
+  let x = ref 0 and y = ref 10 in
+  for i = 0 to n - 2 do
+    x := !x + lens.(i mod 6);
+    y := !y + (slopes.(i mod 6) * lens.(i mod 6));
+    knots := (!x, !y) :: !knots
+  done;
+  Rta_curve.Pl.of_knots ~tail:1 (List.rev !knots)
+
+let pl_convex n =
+  let knots = ref [ (0, 0) ] in
+  let x = ref 0 and y = ref 0 in
+  for i = 0 to n - 2 do
+    let len = 1 + (i mod 3) in
+    x := !x + len;
+    y := !y + (i * len);
+    knots := (!x, !y) :: !knots
+  done;
+  Rta_curve.Pl.of_knots ~tail:n (List.rev !knots)
+
+let prefix_work n_events =
+  Rta_curve.Step.scale
+    (Rta_model.Arrival.arrival_function
+       (Rta_model.Arrival.Bursty { period = 100 })
+       ~horizon:(100 * n_events / 2))
+    70
+
+let fixpoint_shop ~stages ~jobs =
+  let config =
+    Rta_workload.Jobshop.default ~stages ~jobs ~utilization:0.5
+      ~arrival:Rta_workload.Jobshop.Periodic_eq25
+      ~deadline:(Rta_workload.Jobshop.Multiple_of_period 2.0)
+      ~sched:Rta_model.Sched.Spp
+  in
+  Rta_workload.Jobshop.generate config ~rng:(Rta_workload.Rng.make 7)
+
+let curve_kernels () =
+  print_endline
+    "=== Curve kernels: optimized vs reference (median ns/run) ===";
+  (* The reference lane runs with the whole curve layer switched to the
+     frozen baselines, so the comparison is old call path vs new call path,
+     not a hybrid. *)
+  let on_reference f () =
+    Rta_curve.Minplus.set_impl `Reference;
+    Fun.protect ~finally:(fun () -> Rta_curve.Minplus.set_impl `Optimized) f
+  in
+  let case name ~reference ~optimized =
+    let r = median_ns (on_reference reference) in
+    let o = median_ns optimized in
+    kernel_results := (name, r, o) :: !kernel_results;
+    Printf.printf "  %-28s %12.0f ref  %12.0f opt  %6.1fx\n" name r o (r /. o)
+  in
+  List.iter
+    (fun n ->
+      let f = pl_zigzag n and g = pl_zigzag n in
+      case
+        (Printf.sprintf "convolve_general_%d" n)
+        ~reference:(fun () -> ignore (Rta_curve.Reference.convolve f g))
+        ~optimized:(fun () -> ignore (Rta_curve.Minplus.convolve f g));
+      let cf = pl_convex n and cg = pl_convex n in
+      case
+        (Printf.sprintf "convolve_convex_%d" n)
+        ~reference:(fun () -> ignore (Rta_curve.Reference.convolve cf cg))
+        ~optimized:(fun () -> ignore (Rta_curve.Minplus.convolve cf cg)))
+    [ 50; 100; 200 ];
+  List.iter
+    (fun n ->
+      let work = prefix_work n and avail = Rta_curve.Pl.identity in
+      case
+        (Printf.sprintf "prefix_min_%d" n)
+        ~reference:(fun () ->
+          ignore (Rta_curve.Reference.prefix_min ~mode:`Left ~avail ~work))
+        ~optimized:(fun () ->
+          ignore (Rta_curve.Minplus.prefix_min ~mode:`Left ~avail ~work)))
+    [ 100; 400; 1600 ];
+  List.iter
+    (fun (stages, jobs) ->
+      let system = fixpoint_shop ~stages ~jobs in
+      let release_horizon, horizon =
+        Rta_workload.Jobshop.suggested_horizons system
+      in
+      case
+        (Printf.sprintf "fixpoint_%dx%d" jobs stages)
+        ~reference:(fun () ->
+          ignore
+            (Rta_core.Fixpoint.analyze ~strategy:`Full ~release_horizon
+               ~horizon system))
+        ~optimized:(fun () ->
+          ignore
+            (Rta_core.Fixpoint.analyze ~strategy:`Dirty ~release_horizon
+               ~horizon system)))
+    [ (2, 3); (3, 6); (4, 9) ];
   print_newline ()
 
 (* ------------------------------------------------------------------ *)
@@ -338,6 +471,18 @@ let write_baseline path =
                    ])
                !micro_results) );
         ("component_seconds", Json.Obj component_seconds);
+        ( "curve_kernels",
+          Json.List
+            (List.rev_map
+               (fun (name, ref_ns, opt_ns) ->
+                 Json.Obj
+                   [
+                     ("name", Json.String name);
+                     ("ref_ns", Json.Float ref_ns);
+                     ("opt_ns", Json.Float opt_ns);
+                     ("speedup", Json.Float (ref_ns /. opt_ns));
+                   ])
+               !kernel_results) );
         ("batch", !batch_json);
         ("metrics", metrics);
       ]
@@ -353,6 +498,7 @@ let write_baseline path =
 let () =
   if not (env_flag "RTA_SKIP_FIGURES") then figures ();
   if not (env_flag "RTA_SKIP_MICRO") then micro ();
+  if not (env_flag "RTA_SKIP_KERNELS") then curve_kernels ();
   if not (env_flag "RTA_SKIP_BATCH") then batch ();
   match Sys.getenv_opt "RTA_BENCH_OUT" with
   | Some "" -> ()

@@ -569,14 +569,46 @@ let fuzz_cmd =
          & info [ "replay" ] ~docv:"FILE"
              ~doc:"Re-check a saved counterexample instead of fuzzing (horizons come from the file's #! directive).")
   in
+  let kernels_arg =
+    Arg.(value & flag
+         & info [ "kernels" ]
+             ~doc:"Fuzz the curve kernels instead of whole systems: optimized convolve/prefix_min/of_step/cursor evaluation are cross-checked against the frozen Reference baselines on random curves, and mismatching inputs shrunk.")
+  in
   let print_violations vs =
     List.iter
       (fun v -> Format.printf "  %a@." Rta_check.Oracle.pp_violation v)
       vs
   in
-  let run () seed count budget_s out fault replay verbose =
+  let run_kernels seed count budget_s out =
+    let outcome = Rta_check.Kernels.run ?out_dir:out ?budget_s ~seed ~count () in
+    Format.printf
+      "fuzz --kernels: %d trials (%d passed), %d mismatch(es) in %.1fs (seed %d)@."
+      outcome.Rta_check.Kernels.tested outcome.Rta_check.Kernels.passed
+      (List.length outcome.Rta_check.Kernels.mismatches)
+      outcome.Rta_check.Kernels.elapsed_s seed;
+    List.iter
+      (fun (m : Rta_check.Kernels.mismatch) ->
+        Format.printf "trial %d (%s, seed %d):%s@.%s@." m.Rta_check.Kernels.index
+          m.Rta_check.Kernels.check
+          (m.Rta_check.Kernels.seed + m.Rta_check.Kernels.index)
+          (match m.Rta_check.Kernels.file with
+          | Some f -> Printf.sprintf " written to %s" f
+          | None -> "")
+          m.Rta_check.Kernels.detail)
+      outcome.Rta_check.Kernels.mismatches;
+    if outcome.Rta_check.Kernels.mismatches <> [] then exit 1
+  in
+  let run () seed count budget_s out fault kernels replay verbose =
     setup_logs verbose;
     Rta_core.Engine.set_fault fault;
+    if kernels then begin
+      if count < 1 then begin
+        Format.eprintf "error: --count must be at least 1@.";
+        exit 2
+      end;
+      run_kernels seed count budget_s out
+    end
+    else
     match replay with
     | Some path -> (
         match Rta_check.Fuzz.replay path with
@@ -620,7 +652,7 @@ let fuzz_cmd =
   Cmd.v
     (Cmd.info "fuzz"
        ~doc:"Differential fuzzing: random systems are analyzed and simulated, the analysis bounds checked against the simulated ground truth, and any violation shrunk to a minimal replayable counterexample.")
-    Term.(const run $ obs_term $ seed_arg $ count_arg $ budget_arg $ out_arg $ fault_arg $ replay_arg $ verbose_arg)
+    Term.(const run $ obs_term $ seed_arg $ count_arg $ budget_arg $ out_arg $ fault_arg $ kernels_arg $ replay_arg $ verbose_arg)
 
 (* figures *)
 

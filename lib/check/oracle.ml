@@ -42,10 +42,15 @@ let check_subjob ~add ~horizon system t (e : Engine.entry) sim =
   let svc = sim.Rta_sim.Sim.service.(e.Engine.id.System.job).(e.Engine.id.System.step) in
   (* Arrival and departure brackets, and exact-trace equality. *)
   let bracket kind_lo kind_hi sim_f lo hi =
+    (* The merged times are ascending (IntSet.elements), so cursor
+       evaluation walks each curve once instead of binary-searching per
+       event. *)
+    let sim_c = Step.Cursor.make sim_f in
+    let lo_c = Step.Cursor.make lo and hi_c = Step.Cursor.make hi in
     List.iter
       (fun tt ->
-        let s = Step.eval sim_f tt in
-        let l = Step.eval lo tt and h = Step.eval hi tt in
+        let s = Step.Cursor.eval sim_c tt in
+        let l = Step.Cursor.eval lo_c tt and h = Step.Cursor.eval hi_c tt in
         if s < l then
           add id kind_lo (Printf.sprintf "t=%d: simulated count %d < lower bound %d" tt s l);
         if s > h then
@@ -64,10 +69,13 @@ let check_subjob ~add ~horizon system t (e : Engine.entry) sim =
     System.scheduler_of system (System.step system e.Engine.id).System.proc = Sched.Fcfs
   in
   let check_upper = not (fcfs && e.Engine.exact) in
+  let svc_c = Pl.Cursor.make svc in
+  let lo_c = Pl.Cursor.make e.Engine.svc_lo
+  and hi_c = Pl.Cursor.make e.Engine.svc_hi in
   List.iter
     (fun tt ->
-      let s = Pl.eval svc tt in
-      let l = Pl.eval e.Engine.svc_lo tt and h = Pl.eval e.Engine.svc_hi tt in
+      let s = Pl.Cursor.eval svc_c tt in
+      let l = Pl.Cursor.eval lo_c tt and h = Pl.Cursor.eval hi_c tt in
       if s < l then
         add id "svc_lo" (Printf.sprintf "t=%d: simulated service %d < lower bound %d" tt s l);
       if check_upper && s > h then

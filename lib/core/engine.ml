@@ -60,7 +60,7 @@ let entry_csv t id =
   let change_points =
     [ e.arr_lo; e.arr_hi; e.dep_lo; e.dep_hi ]
     |> List.concat_map (fun f -> Array.to_list (Step.jumps f) |> List.map fst)
-    |> List.cons 0 |> List.sort_uniq compare
+    |> List.cons 0 |> List.sort_uniq Int.compare
   in
   let buf = Buffer.create 1024 in
   Buffer.add_string buf "t,arr_lo,arr_hi,dep_lo,dep_hi\n";
@@ -127,10 +127,17 @@ let check_entry t e =
 (* Departure bounds from service bounds (Theorem 2 / Lemmas 1-2), with the
    arrival caps described in engine.mli. *)
 let departures ~horizon ~tau ~arr_lo ~arr_hi ~svc_lo ~svc_hi =
-  let dep_of svc = Pl.to_step_floor_div (Pl.truncate_at svc horizon) tau in
-  let dep_lo = Step.min2 (dep_of svc_lo) arr_lo in
-  let dep_hi = Step.min2 (dep_of svc_hi) arr_hi in
-  (dep_lo, dep_hi)
+  (* The arrival cap bounds departures by the instance count, so converting
+     service beyond [tau * final_value arr] only creates jumps the min
+     discards; capping the conversion keeps the work proportional to the
+     instance count instead of the horizon. *)
+  let dep_of svc arr =
+    Step.min2
+      (Pl.to_step_floor_div ~cap:(Step.final_value arr)
+         (Pl.truncate_at svc horizon) tau)
+      arr
+  in
+  (dep_of svc_lo arr_lo, dep_of svc_hi arr_hi)
 
 (* Exact SPP service (Theorem 3): avail A = t - sum of exact higher-priority
    services; S = min over s <= t of (A(t) - A(s) + c(s-)). *)

@@ -34,11 +34,25 @@ type result = {
   iterations : int;
 }
 
+type strategy = [ `Dirty | `Full ]
+(** Iteration strategy.  [`Full] re-evaluates every subjob each round — the
+    textbook Jacobi sweep.  [`Dirty] (the default) re-evaluates only subjobs
+    whose inputs changed in the previous round: a subjob reads the [X]
+    components of its chain predecessor, of the chain predecessors of its
+    higher-priority co-residents (SPP/SPNP), and of the chain predecessors
+    of all co-residents (FCFS — the summed workload of Theorem 7).
+    Recomputing a subjob with unchanged inputs reproduces its value, so the
+    two strategies produce the same iterates, the same verdicts and the
+    same iteration count — [`Dirty] just skips the provably idempotent
+    work.  The parity is asserted by the differential tests in
+    [test/core]. *)
+
 val analyze :
   ?max_iterations:int ->
+  ?strategy:strategy ->
   ?release_horizon:int ->
   horizon:int ->
   Rta_model.System.t ->
   result
 (** [max_iterations] defaults to 64; hitting it yields [Unbounded] for the
-    jobs still changing. *)
+    jobs still changing.  [strategy] defaults to [`Dirty]. *)

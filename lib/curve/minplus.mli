@@ -52,7 +52,40 @@ val transform_blocked :
 val convolve : Pl.t -> Pl.t -> Pl.t
 (** Min-plus convolution on the grid:
     [(f * g)(t) = min over integer 0 <= s <= t of (f(s) + g(t - s))].
-    Exact on the grid; cost O(knots(f) * knots(g)) knot insertions. *)
+    Exact on the grid.
+
+    Cost: O(n + m) by slope merge when both operands are convex (slopes
+    non-decreasing — every service curve of Theorems 5-9 after
+    monotonization qualifies); O(n + m) by pointwise minimum when both are
+    concave with value 0 at the origin (arrival envelopes); otherwise a
+    balanced tournament of pointwise minima over the (n + m) shifted
+    candidate curves, O((n + m) log (n + m)) knot insertions.
+
+    The general path masks the undefined prefix of each shifted candidate
+    with a large sentinel; operands whose value magnitudes sum to 2^39 or
+    more would make genuine values collide with the mask and are rejected.
+    The convex and concave fast paths never mask and accept any values.
+    @raise Invalid_argument on the general path when the operands' absolute
+    values (over the span of their knots) sum to at least [2^39]. *)
+
+(** {1 Kernel selection}
+
+    The optimized kernels are differential-tested against the frozen
+    baselines in {!Reference} (property tests, [rta fuzz --kernels]).  The
+    switch below additionally lets whole-analysis callers (the bench
+    harness's regression gate) run the engine's exact call paths on the
+    reference kernels. *)
+
+type impl = [ `Optimized | `Reference ]
+
+val set_impl : impl -> unit
+(** Route {!prefix_min} and {!convolve} through the optimized kernels
+    (default) or the {!Reference} baselines, and {!Pl}'s pointwise
+    combination kernels through their pre-optimization bodies (see
+    {!Pl.set_reference_kernels}).  Global, not thread-safe; intended for
+    benchmarks and debugging, not production configuration. *)
+
+val current_impl : unit -> impl
 
 val vertical_deviation : upper:Pl.t -> lower:Pl.t -> int option
 (** [sup over t of (upper(t) - lower(t))], the backlog bound when [upper]

@@ -70,6 +70,48 @@ let normalize ~tail xs ys =
   invariant f;
   f
 
+(* Preallocated knot buffer for the hot-path kernels: pushes are amortized
+   O(1), a push at the current last time overwrites it (the same dedup the
+   old list buffers did with their head-replace match), and finishing runs
+   [normalize] directly on the backing arrays — no intermediate list, no
+   [of_knots] re-validation pass. *)
+module Builder = struct
+  type builder = {
+    mutable bxs : int array;
+    mutable bys : int array;
+    mutable len : int;
+  }
+
+  let create capacity =
+    let capacity = max capacity 4 in
+    { bxs = Array.make capacity 0; bys = Array.make capacity 0; len = 0 }
+
+  let grow b =
+    let cap = 2 * Array.length b.bxs in
+    let xs = Array.make cap 0 and ys = Array.make cap 0 in
+    Array.blit b.bxs 0 xs 0 b.len;
+    Array.blit b.bys 0 ys 0 b.len;
+    b.bxs <- xs;
+    b.bys <- ys
+
+  let push b x y =
+    if b.len > 0 && b.bxs.(b.len - 1) = x then b.bys.(b.len - 1) <- y
+    else begin
+      if b.len > 0 && b.bxs.(b.len - 1) > x then
+        invalid_arg "Pl.Builder.push: time went backwards";
+      if b.len = Array.length b.bxs then grow b;
+      b.bxs.(b.len) <- x;
+      b.bys.(b.len) <- y;
+      b.len <- b.len + 1
+    end
+
+  let length b = b.len
+
+  let to_pl ~tail b =
+    if b.len = 0 then invalid_arg "Pl.Builder.to_pl: no knots";
+    normalize ~tail (Array.sub b.bxs 0 b.len) (Array.sub b.bys 0 b.len)
+end
+
 let const v = { xs = [| 0 |]; ys = [| v |]; tail = 0 }
 let zero = const 0
 let linear ~slope ~offset = { xs = [| 0 |]; ys = [| offset |]; tail = slope }
@@ -98,22 +140,20 @@ let of_knots ~tail l =
 let of_step step =
   let js = Step.jumps step in
   let v0 = Step.eval step 0 in
-  let buf = ref [ (0, v0) ] in
-  let push x y =
-    match !buf with
-    | (x', _) :: rest when x' = x -> buf := (x, y) :: rest
-    | _ -> buf := (x, y) :: !buf
-  in
+  (* Exactly two knots per positive jump plus the origin; preallocating that
+     bound makes the conversion a single pass with no growth or list churn. *)
+  let b = Builder.create ((2 * Array.length js) + 1) in
+  Builder.push b 0 v0;
   let prev = ref v0 in
   Array.iter
     (fun (t, v) ->
       if t > 0 then begin
-        push (t - 1) !prev;
-        push t v;
+        Builder.push b (t - 1) !prev;
+        Builder.push b t v;
         prev := v
       end)
     js;
-  of_knots ~tail:0 (List.rev !buf)
+  Builder.to_pl ~tail:0 b
 
 (* Largest index i with xs.(i) <= t. *)
 let index_at f t =
@@ -129,6 +169,36 @@ let eval f t =
   if t < 0 then invalid_arg "Pl.eval: negative time";
   let i = index_at f t in
   f.ys.(i) + (segment_slope f i * (t - f.xs.(i)))
+
+(* Sequential evaluation: when query times are non-decreasing (event sweeps,
+   merged-grid walks) the segment index only ever moves forward, so each
+   query is amortized O(1) instead of a fresh O(log n) binary search. *)
+module Cursor = struct
+  type pl = t
+  type t = { f : pl; mutable i : int; mutable last : int }
+
+  let make f = { f; i = 0; last = 0 }
+
+  let advance c t =
+    if t < c.last then
+      invalid_arg "Pl.Cursor: query times must be non-decreasing";
+    c.last <- t;
+    let xs = c.f.xs in
+    let n = Array.length xs in
+    while c.i + 1 < n && xs.(c.i + 1) <= t do
+      c.i <- c.i + 1
+    done
+
+  let eval c t =
+    if t < 0 then invalid_arg "Pl.Cursor.eval: negative time";
+    advance c t;
+    c.f.ys.(c.i) + (segment_slope c.f c.i * (t - c.f.xs.(c.i)))
+
+  let slope c t =
+    if t < 0 then invalid_arg "Pl.Cursor.slope: negative time";
+    advance c t;
+    segment_slope c.f c.i
+end
 
 let knots f = Array.init (Array.length f.xs) (fun i -> (f.xs.(i), f.ys.(i)))
 let tail_slope f = f.tail
@@ -195,9 +265,25 @@ let merge_knot_times f g =
   let k = go 0 0 0 in
   Array.sub out 0 k
 
+(* Kernel selection: the pointwise combination kernels below keep their
+   pre-optimization bodies (one binary search per merged time) as reference
+   implementations, switchable at runtime so benchmarks and differential
+   tests can run whole call paths on the baselines.  Flipped by
+   Minplus.set_impl, never directly. *)
+let reference_kernels = ref false
+let set_reference_kernels b = reference_kernels := b
+
 let lift2 op f g =
   let xs = merge_knot_times f g in
-  let ys = Array.map (fun t -> op (eval f t) (eval g t)) xs in
+  let ys =
+    if !reference_kernels then Array.map (fun t -> op (eval f t) (eval g t)) xs
+    else begin
+      (* Merged times are ascending, so two cursors replace the per-time
+         binary searches. *)
+      let cf = Cursor.make f and cg = Cursor.make g in
+      Array.map (fun t -> op (Cursor.eval cf t) (Cursor.eval cg t)) xs
+    end
+  in
   normalize ~tail:(op f.tail g.tail) xs ys
 
 let observed c r =
@@ -227,7 +313,7 @@ let crossing_floors d0 ds =
     Some (num / ds) (* both num and ds share sign; integer division floors
                        toward zero which equals floor here since signs agree *)
 
-let pointwise2 op f g =
+let pointwise2_reference op f g =
   let base = merge_knot_times f g in
   let times = ref [] in
   let add_time t = if t >= 0 then times := t :: !times in
@@ -249,9 +335,40 @@ let pointwise2 op f g =
   for i = 0 to n - 1 do
     consider i
   done;
-  let xs = List.sort_uniq compare !times |> Array.of_list in
+  let xs = List.sort_uniq Int.compare !times |> Array.of_list in
   let ys = Array.map (fun t -> op (eval f t) (eval g t)) xs in
   normalize ~tail:(op f.tail g.tail) xs ys
+
+(* Same candidate times and values as the reference, produced in one
+   ascending sweep: base times and straddle pairs are generated in order
+   (straddles fall strictly inside their interval), so a Builder replaces
+   the list + sort_uniq and two cursors replace every binary search. *)
+let pointwise2_fast op f g =
+  let base = merge_knot_times f g in
+  let n = Array.length base in
+  let cf = Cursor.make f and cg = Cursor.make g in
+  let b = Builder.create ((3 * n) + 2) in
+  for i = 0 to n - 1 do
+    let x = base.(i) in
+    let x_end = if i = n - 1 then None else Some base.(i + 1) in
+    let yf = Cursor.eval cf x and yg = Cursor.eval cg x in
+    let sf = Cursor.slope cf x and sg = Cursor.slope cg x in
+    Builder.push b x (op yf yg);
+    match crossing_floors (yf - yg) (sf - sg) with
+    | None -> ()
+    | Some du ->
+        let t1 = x + du and t2 = x + du + 1 in
+        let inside t = t > x && (match x_end with None -> true | Some e -> t < e) in
+        if inside t1 then
+          Builder.push b t1 (op (Cursor.eval cf t1) (Cursor.eval cg t1));
+        if inside t2 then
+          Builder.push b t2 (op (Cursor.eval cf t2) (Cursor.eval cg t2))
+  done;
+  Builder.to_pl ~tail:(op f.tail g.tail) b
+
+let pointwise2 op f g =
+  if !reference_kernels then pointwise2_reference op f g
+  else pointwise2_fast op f g
 
 let min2 f g = observed c_min2 (pointwise2 min f g)
 let max2 f g = observed c_max2 (pointwise2 max f g)
@@ -340,15 +457,30 @@ let truncate_at f h =
   let kept = if h > 0 then kept @ [ (h, eval f h) ] else kept in
   of_knots ~tail:0 kept
 
-let to_step_floor_div s tau =
+let to_step_floor_div ?cap s tau =
   if tau < 1 then invalid_arg "Pl.to_step_floor_div: divisor must be >= 1";
   if not (is_nondecreasing s) then
     invalid_arg "Pl.to_step_floor_div: function is not non-decreasing";
   if s.tail > 0 then
     invalid_arg "Pl.to_step_floor_div: positive tail slope; truncate_at first";
+  let limit =
+    match cap with
+    | None -> max_int
+    | Some c ->
+        if c < 0 then invalid_arg "Pl.to_step_floor_div: cap must be >= 0";
+        c
+  in
   let n = Array.length s.xs in
   let samples = ref [] in
-  let push t v = samples := (t, v) :: !samples in
+  let saturated = ref false in
+  (* Values are non-decreasing, so once the cap is reached every later
+     sample would clamp to it too: emit the clamped sample and stop. *)
+  let push t v =
+    if not !saturated then begin
+      samples := (t, min v limit) :: !samples;
+      if v >= limit then saturated := true
+    end
+  in
   push 0 (s.ys.(0) / tau);
   (* Within each rising segment, emit the first integer time at which each
      successive multiple of tau is reached. *)
@@ -361,7 +493,7 @@ let to_step_floor_div s tau =
       let rec next_multiple v =
         let target = v * tau in
         let t = x + ((target - y + slope - 1) / slope) in
-        if t < x_end && t > x then begin
+        if t < x_end && t > x && not !saturated then begin
           let reached = (y + (slope * (t - x))) / tau in
           push t reached;
           next_multiple (reached + 1)
@@ -370,10 +502,12 @@ let to_step_floor_div s tau =
       next_multiple ((y / tau) + 1)
     end
   in
-  for i = 0 to n - 1 do
-    emit_segment i
+  let i = ref 0 in
+  while !i < n && not !saturated do
+    emit_segment !i;
+    incr i
   done;
-  Step.of_samples ~init:(s.ys.(0) / tau) (List.rev !samples)
+  Step.of_samples ~init:(min (s.ys.(0) / tau) limit) (List.rev !samples)
 
 let equal f g = f.tail = g.tail && f.xs = g.xs && f.ys = g.ys
 

@@ -34,10 +34,64 @@ val of_step : Step.t -> t
 (** [of_step f] agrees with the step function [f] at every integer time:
     constant between jumps, ramping over the single tick before each jump. *)
 
+module Builder : sig
+  (** Preallocated knot buffer for building polylines in one forward pass.
+
+      The hot-path kernels ({!Minplus.prefix_min}, {!of_step}) accumulate
+      output knots here instead of consing a list and re-validating through
+      {!of_knots}: pushes are amortized O(1) on a preallocated array, a push
+      at the current last time overwrites its value (the dedup the kernels
+      rely on at interval boundaries), and {!to_pl} normalizes directly from
+      the backing arrays. *)
+
+  type builder
+
+  val create : int -> builder
+  (** [create capacity] preallocates for [capacity] knots; the buffer grows
+      by doubling if the estimate is exceeded. *)
+
+  val push : builder -> int -> int -> unit
+  (** [push b x y] appends the knot [(x, y)].  Times must be non-decreasing
+      across pushes; pushing at the last time again replaces its value.
+      @raise Invalid_argument if [x] precedes the last pushed time. *)
+
+  val length : builder -> int
+
+  val to_pl : tail:int -> builder -> t
+  (** Normal-form polyline from the pushed knots (first must be at time 0,
+      segment slopes must be integral — enforced by the normal-form
+      invariant check).
+      @raise Invalid_argument on an empty buffer or invalid knots. *)
+end
+
 (** {1 Observation} *)
 
 val eval : t -> int -> int
 (** [eval f t] is [f(t)], for [t >= 0]. *)
+
+module Cursor : sig
+  (** Amortized-O(1) sequential evaluation for non-decreasing query times.
+
+      Event sweeps (the prefix-minimum scan, the fuzz oracle's merged-grid
+      walk) evaluate curves at sorted times; a cursor walks the segment
+      index forward instead of binary-searching from scratch on every
+      query.  All queries on one cursor must use non-decreasing times. *)
+
+  type pl := t
+  type t
+
+  val make : pl -> t
+
+  val eval : t -> int -> int
+  (** Same value as {!Pl.eval} at the same time.
+      @raise Invalid_argument on a negative time or a time earlier than a
+      previous query on this cursor. *)
+
+  val slope : t -> int -> int
+  (** Slope of the segment containing [t] (the tail slope at or beyond the
+      last knot): the value of [eval (t+1) - eval t] whenever [t+1] does not
+      cross a knot.  Same monotonicity contract as {!eval}. *)
+end
 
 val knots : t -> (int * int) array
 (** The knots in increasing time order (fresh array). *)
@@ -112,14 +166,30 @@ val truncate_at : t -> int -> t
 
 (** {1 Conversion} *)
 
-val to_step_floor_div : t -> int -> Step.t
+val to_step_floor_div : ?cap:int -> t -> int -> Step.t
 (** [to_step_floor_div s tau] is [fun t -> floor (s(t) / tau)]: Theorem 2 /
     Lemma 1 of the paper ([f_dep = floor (S / tau)]).  Requires [s]
     non-decreasing with non-positive tail slope (truncate first), and
     [tau >= 1].
+
+    With [~cap] the result is [fun t -> min (floor (s(t) / tau)) cap]
+    ([cap >= 0]), and the conversion stops emitting jumps once the cap is
+    reached — callers that immediately take a pointwise minimum with a
+    bounded counting function (the departure caps of Theorem 2) pass the
+    cap here so the output stays proportional to the {e instance} count
+    rather than to the horizon.
     @raise Invalid_argument otherwise. *)
 
 (** {1 Comparison} *)
+
+val set_reference_kernels : bool -> unit
+(** Route the pointwise combination kernels ({!add}, {!sub}, {!min2},
+    {!max2} and everything built on them) through their pre-optimization
+    bodies — one binary search per merged time — instead of the
+    cursor-merge fast paths.  The two produce identical normal forms; the
+    switch exists so benchmarks and differential tests can run whole call
+    paths on the baselines.  Flipped by {!Minplus.set_impl}; do not call
+    directly. *)
 
 val equal : t -> t -> bool
 (** Extensional equality on the grid (normal-form representation). *)

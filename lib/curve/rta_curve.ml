@@ -13,6 +13,7 @@ module Pl = Pl
 module Minplus = Minplus
 module Dense = Dense
 module Envelope = Envelope
+module Reference = Reference
 
 (* First-class conformance witnesses: packing the modules here both proves
    at compile time that they satisfy CURVE and gives generic clients (the

@@ -126,6 +126,36 @@ let eval_left f t =
   if t < 0 then invalid_arg "Step.eval_left: negative time";
   if t = 0 then f.init else eval f (t - 1)
 
+(* Sequential evaluation for non-decreasing query times; see Pl.Cursor. *)
+module Cursor = struct
+  type step = t
+  type t = { f : step; mutable i : int; mutable last : int }
+
+  let make f = { f; i = -1; last = 0 }
+
+  let advance c t =
+    if t < c.last then
+      invalid_arg "Step.Cursor: query times must be non-decreasing";
+    c.last <- t;
+    let ts = c.f.ts in
+    let n = Array.length ts in
+    while c.i + 1 < n && ts.(c.i + 1) <= t do
+      c.i <- c.i + 1
+    done
+
+  let eval c t =
+    if t < 0 then invalid_arg "Step.Cursor.eval: negative time";
+    advance c t;
+    if c.i < 0 then c.f.init else c.f.vs.(c.i)
+
+  (* The left limit at t is the value at t-1; the monotonicity contract
+     therefore applies to the shifted times, so [eval] and [eval_left] must
+     not be interleaved on one cursor with overlapping time ranges. *)
+  let eval_left c t =
+    if t < 0 then invalid_arg "Step.Cursor.eval_left: negative time";
+    if t = 0 then c.f.init else eval c (t - 1)
+end
+
 let init_value f = f.init
 
 let final_value f =

@@ -55,6 +55,27 @@ val eval_left : t -> int -> int
 (** [eval_left f t] is the left limit [f(t-)]: the value just before [t].
     [eval_left f 0] is the initial value. *)
 
+module Cursor : sig
+  (** Amortized-O(1) sequential evaluation for non-decreasing query times;
+      the step-function counterpart of {!Pl.Cursor}. *)
+
+  type step := t
+  type t
+
+  val make : step -> t
+
+  val eval : t -> int -> int
+  (** Same value as {!Step.eval} at the same time.
+      @raise Invalid_argument on a negative time or a time earlier than a
+      previous query on this cursor. *)
+
+  val eval_left : t -> int -> int
+  (** Same value as {!Step.eval_left}.  The left limit at [t] reads the
+      value at [t - 1], so the monotonicity contract applies to the shifted
+      times: do not interleave {!eval} and {!eval_left} queries over
+      overlapping time ranges on one cursor. *)
+end
+
 val init_value : t -> int
 (** Value on [0, first_jump), i.e. [f(0)] if there is no jump at 0. *)
 
