@@ -345,7 +345,21 @@ let generate_cmd =
     (Cmd.info "generate" ~doc:"Generate random job shops (Section 5 workload) as description files or NDJSON batch requests.")
     Term.(const run $ obs_term $ stages_arg $ jobs_arg $ util_arg $ arrival_arg $ sched_arg $ seed_arg $ count_arg $ ndjson_arg)
 
-(* batch *)
+(* batch / serve *)
+
+(* The persistent store validates payloads with the full analysis decoder:
+   anything that does not round-trip (truncated write, manual edit, schema
+   drift) is evicted on read and recomputed, never served. *)
+let open_store dir =
+  Rta_service.Store.open_
+    ~validate:(fun s ->
+      Result.is_ok (Rta_service.Batch.analysis_of_string s))
+    dir
+
+let store_arg =
+  Arg.(value & opt (some string) None
+       & info [ "store" ] ~docv:"DIR"
+           ~doc:"Persist analysis results in $(docv) (created if missing) and serve repeated specs from it without re-running the engine, across process restarts.  Corrupt entries are evicted, not fatal.")
 
 let batch_cmd =
   let file_arg =
@@ -379,7 +393,7 @@ let batch_cmd =
          & info [ "deadline-ms" ] ~docv:"MS"
              ~doc:"Default per-request deadline: requests not started within $(docv) milliseconds of their batch's submission are reported as timeouts.")
   in
-  let run () file jobs chunk estimator auto_prio deadline_ms =
+  let run () file jobs chunk estimator auto_prio deadline_ms store_dir =
     if jobs < 1 then begin
       Format.eprintf "error: --jobs must be at least 1@.";
       exit 2
@@ -405,6 +419,7 @@ let batch_cmd =
         ""
     in
     let cache = Rta_service.Cache.create () in
+    let store = Option.map open_store store_dir in
     let started = Rta_obs.now () in
     let summary = ref Rta_service.Batch.empty_summary in
     let index_base = ref 0 in
@@ -428,7 +443,8 @@ let batch_cmd =
       let requests = read_chunk () in
       if Array.length requests > 0 then begin
         let responses =
-          Rta_service.Batch.run ~jobs ~index_base:!index_base ~cache requests
+          Rta_service.Batch.run ~jobs ~index_base:!index_base ~cache ?store
+            requests
         in
         Array.iter
           (fun r ->
@@ -440,6 +456,7 @@ let batch_cmd =
       end
     done;
     if file <> "-" then close_in ic;
+    Option.iter Rta_service.Store.flush store;
     let elapsed = Rta_obs.now () -. started in
     let s = !summary in
     Format.eprintf "batch: %a@." Rta_service.Batch.pp_summary s;
@@ -457,7 +474,82 @@ let batch_cmd =
   Cmd.v
     (Cmd.info "batch"
        ~doc:"Analyze a stream of NDJSON system specs on a worker pool with memoization; results come out as NDJSON in input order regardless of worker count.")
-    Term.(const run $ obs_term $ file_arg $ jobs_arg $ chunk_arg $ estimator_arg $ auto_prio_arg $ deadline_arg)
+    Term.(const run $ obs_term $ file_arg $ jobs_arg $ chunk_arg $ estimator_arg $ auto_prio_arg $ deadline_arg $ store_arg)
+
+(* serve *)
+
+let serve_cmd =
+  let jobs_arg =
+    Arg.(value & opt (some int) None
+         & info [ "jobs"; "j" ] ~docv:"N"
+             ~doc:"Worker count (default: $(b,RTA_JOBS) or the backend's recommendation).  Workers run on OCaml 5 domains; on 4.14 the pool degrades to one effective worker.")
+  in
+  let max_queue_arg =
+    Arg.(value & opt int 64
+         & info [ "max-queue" ] ~docv:"N"
+             ~doc:"Admission queue bound: requests beyond $(docv) admitted-but-unstarted ones are answered with status $(b,queue_full) immediately.")
+  in
+  let socket_arg =
+    Arg.(value & opt (some string) None
+         & info [ "socket" ] ~docv:"PATH"
+             ~doc:"Also listen on a Unix-domain socket at $(docv) (removed on shutdown); clients speak the same NDJSON protocol as stdio.")
+  in
+  let no_stdio_arg =
+    Arg.(value & flag
+         & info [ "no-stdio" ]
+             ~doc:"Do not serve stdin/stdout (requires $(b,--socket)).")
+  in
+  let estimator_arg =
+    let estimator_conv = Arg.enum [ ("direct", `Direct); ("sum", `Sum) ] in
+    Arg.(value & opt estimator_conv `Direct
+         & info [ "estimator" ] ~docv:"KIND"
+             ~doc:"Default end-to-end estimator for requests that do not set one.")
+  in
+  let deadline_arg =
+    Arg.(value & opt (some float) None
+         & info [ "deadline-ms" ] ~docv:"MS"
+             ~doc:"Default per-request deadline, measured from admission.  A request past due before a worker starts it times out; one overrunning mid-analysis is cancelled and degraded to envelope bounds.")
+  in
+  let run () jobs max_queue socket no_stdio store_dir estimator auto_prio
+      deadline_ms =
+    let workers =
+      match jobs with
+      | Some j when j >= 1 -> Some j
+      | Some _ ->
+          Format.eprintf "error: --jobs must be at least 1@.";
+          exit 2
+      | None -> (
+          match Option.bind (Sys.getenv_opt "RTA_JOBS") int_of_string_opt with
+          | Some j when j >= 1 -> Some j
+          | Some _ | None -> None)
+    in
+    if max_queue < 1 then begin
+      Format.eprintf "error: --max-queue must be at least 1@.";
+      exit 2
+    end;
+    if no_stdio && socket = None then begin
+      Format.eprintf "error: --no-stdio needs --socket@.";
+      exit 2
+    end;
+    let defaults =
+      Rta_service.Batch.request ~auto_prio
+        ~config:
+          (Rta_core.Analysis.config ~estimator
+             ?deadline_s:(Option.map (fun ms -> ms /. 1e3) deadline_ms)
+             ())
+        ""
+    in
+    let store = Option.map open_store store_dir in
+    let cfg =
+      Rta_service.Server.config ?workers ~max_queue ~defaults ?store ?socket
+        ~stdio:(not no_stdio) ()
+    in
+    Rta_service.Server.serve (Rta_service.Server.create cfg)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Long-running NDJSON analysis daemon over stdio and/or a Unix-domain socket: bounded admission queue with queue_full backpressure, per-request deadlines with mid-flight cancellation and envelope degradation, optional persistent result store, graceful drain on SIGTERM/SIGINT.")
+    Term.(const run $ obs_term $ jobs_arg $ max_queue_arg $ socket_arg $ no_stdio_arg $ store_arg $ estimator_arg $ auto_prio_arg $ deadline_arg)
 
 (* envelope *)
 
@@ -718,4 +810,4 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group ~default info
-          [ analyze_cmd; simulate_cmd; baseline_cmd; generate_cmd; batch_cmd; envelope_cmd; sensitivity_cmd; fuzz_cmd; figures_cmd ]))
+          [ analyze_cmd; simulate_cmd; baseline_cmd; generate_cmd; batch_cmd; serve_cmd; envelope_cmd; sensitivity_cmd; fuzz_cmd; figures_cmd ]))

@@ -15,11 +15,15 @@ let config ?(estimator = `Direct) ?release_horizon ?horizon ?deadline_s () =
 
 let resolve_horizons cfg system =
   let suggested_release, suggested = System.suggested_horizons system in
+  let sat_double x = if x > max_int / 2 then max_int else 2 * x in
   let release_horizon =
-    Option.value ~default:suggested_release cfg.release_horizon
+    max 1 (Option.value ~default:suggested_release cfg.release_horizon)
   in
   let horizon =
-    Option.value ~default:(max suggested (2 * release_horizon)) cfg.horizon
+    max 1
+      (Option.value
+         ~default:(max suggested (sat_double release_horizon))
+         cfg.horizon)
   in
   (release_horizon, horizon)
 
@@ -52,14 +56,15 @@ let finish system method_used ~release_horizon ~horizon per_job =
   in
   { method_used; per_job; schedulable; release_horizon; horizon }
 
-let run ?(config = default) system =
+let run ?(cancel = Cancel.never) ?(config = default) system =
   let release_horizon, horizon = resolve_horizons config system in
   let finish = finish system ~release_horizon ~horizon in
   let sp = Rta_obs.span_begin "analysis.run" in
+  Fun.protect ~finally:(fun () -> Rta_obs.span_end sp) @@ fun () ->
   let report =
-    match Engine.run ~release_horizon ~horizon system with
+    match Engine.run ~cancel ~release_horizon ~horizon system with
     | Error (`Cyclic _) ->
-        let fp = Fixpoint.analyze ~release_horizon ~horizon system in
+        let fp = Fixpoint.analyze ~cancel ~release_horizon ~horizon system in
         finish `Fixpoint (Array.map of_fixpoint fp.Fixpoint.per_job)
     | Ok engine ->
         let exact = Engine.is_exact engine in
@@ -78,7 +83,6 @@ let run ?(config = default) system =
       | `Exact -> "exact"
       | `Approximate -> "approximate"
       | `Fixpoint -> "fixpoint");
-  Rta_obs.span_end sp;
   report
 
 let pp_report system ppf report =

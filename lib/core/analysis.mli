@@ -41,7 +41,11 @@ val resolve_horizons : config -> Rta_model.System.t -> int * int
 (** [(release_horizon, horizon)] as {!run} will use them: explicit fields
     win; otherwise [release_horizon] comes from
     {!Rta_model.System.suggested_horizons} and [horizon] defaults to
-    [max suggested (2 * release_horizon)]. *)
+    [max suggested (2 * release_horizon)].  Both results are always
+    positive: doublings saturate at [max_int] instead of wrapping and
+    non-positive explicit fields are clamped to 1, so degenerate systems
+    (huge periods, near-[max_int] traces) cannot produce a negative or
+    zero horizon downstream. *)
 
 type verdict = Bounded of int | Unbounded
 
@@ -53,7 +57,14 @@ type report = {
   horizon : int;
 }
 
-val run : ?config:config -> Rta_model.System.t -> report
-(** Analyze with the given configuration (default {!default}). *)
+val run : ?cancel:Cancel.t -> ?config:config -> Rta_model.System.t -> report
+(** Analyze with the given configuration (default {!default}).  [cancel]
+    (default {!Cancel.never}) is threaded into {!Engine.run} and
+    {!Fixpoint.analyze}; when it fires mid-flight the call raises
+    {!Cancel.Cancelled} and service front ends degrade to
+    {!Envelope_analysis} bounds.  [config.deadline_s] itself is {e not}
+    turned into a token here — converting a relative budget into an
+    absolute deadline is the caller's job (it knows when the request was
+    admitted). *)
 
 val pp_report : Rta_model.System.t -> Format.formatter -> report -> unit

@@ -222,12 +222,20 @@ let sp_bounds_as_printed ~blocking ~hp_lo ~work_lo ~work_hi =
    engine.mli for the soundness argument.  [exact_inputs] (arrivals exact
    and release-tie-free on this processor) selects the exact Left-limit
    utilization for the upper bound too, which makes the two bounds
-   coincide. *)
-let fcfs_departures ?(exact_inputs = false) ~horizon ~tau ~arr_lo ~arr_hi ~g_lo
-    ~g_hi () =
+   coincide.  The per-instance loops are the only part of the engine whose
+   cost grows with the instance count rather than the subjob count, so the
+   cancellation token is polled here every [cancel_stride] instances — and
+   between the min-plus transforms, which are the other instance-bearing
+   cost — to keep the deadline-to-response latency bounded on huge
+   horizons. *)
+let cancel_stride = 512
+
+let fcfs_departures ?(cancel = Cancel.never) ?(exact_inputs = false) ~horizon
+    ~tau ~arr_lo ~arr_hi ~g_lo ~g_hi () =
   let u_lo =
     Pl.truncate_at (Minplus.transform ~mode:`Left ~avail:Pl.identity ~work:g_lo) horizon
   in
+  Cancel.check cancel;
   let u_hi =
     if exact_inputs then u_lo
     else
@@ -235,9 +243,11 @@ let fcfs_departures ?(exact_inputs = false) ~horizon ~tau ~arr_lo ~arr_hi ~g_lo
         (Minplus.transform ~mode:`Right ~avail:Pl.identity ~work:g_hi)
         horizon
   in
+  Cancel.check cancel;
   let dep_lo =
     let count = Step.final_value arr_lo in
     let rec jumps i acc =
+      if i land (cancel_stride - 1) = 0 then Cancel.check cancel;
       if i > count then List.rev acc
       else
         match Step.inverse arr_lo i with
@@ -260,6 +270,7 @@ let fcfs_departures ?(exact_inputs = false) ~horizon ~tau ~arr_lo ~arr_hi ~g_lo
   let dep_hi =
     let count = Step.final_value arr_hi in
     let rec jumps i acc =
+      if i land (cancel_stride - 1) = 0 then Cancel.check cancel;
       if i > count then List.rev acc
       else
         match Step.inverse arr_hi i with
@@ -278,8 +289,8 @@ let fcfs_departures ?(exact_inputs = false) ~horizon ~tau ~arr_lo ~arr_hi ~g_lo
   in
   (Step.min2 dep_lo arr_lo, Step.min2 dep_hi arr_hi)
 
-let run ?(variant = `Sound) ?(extra_blocking = fun _ -> 0) ?release_horizon
-    ~horizon system =
+let run ?(cancel = Cancel.never) ?(variant = `Sound)
+    ?(extra_blocking = fun _ -> 0) ?release_horizon ~horizon system =
   let release_horizon = Option.value ~default:horizon release_horizon in
   if release_horizon > horizon then
     invalid_arg "Engine.run: release_horizon exceeds horizon";
@@ -308,7 +319,9 @@ let run ?(variant = `Sound) ?(extra_blocking = fun _ -> 0) ?release_horizon
     end
     else Obs.no_span
   in
-  let result =
+  (* Balanced even when a checkpoint raises [Cancel.Cancelled] mid-walk:
+     the span (and any trace sink) must see the run closed. *)
+  Fun.protect ~finally:(fun () -> Obs.span_end sp_run) @@ fun () ->
   match Deps.compute system with
   | Deps.Cyclic stuck -> Error (`Cyclic stuck)
   | Deps.Acyclic order ->
@@ -329,6 +342,7 @@ let run ?(variant = `Sound) ?(extra_blocking = fun _ -> 0) ?release_horizon
       in
       let get (id : System.subjob_id) = entries.(id.job).(id.step) in
       let compute (id : System.subjob_id) =
+        Cancel.check cancel;
         let sp =
           if Obs.enabled () then
             Obs.span_begin
@@ -465,8 +479,8 @@ let run ?(variant = `Sound) ?(extra_blocking = fun _ -> 0) ?release_horizon
               in
               let exact_inputs = inputs_exact && tie_free in
               let dep_lo, dep_hi =
-                fcfs_departures ~exact_inputs ~horizon ~tau ~arr_lo ~arr_hi
-                  ~g_lo ~g_hi ()
+                fcfs_departures ~cancel ~exact_inputs ~horizon ~tau ~arr_lo
+                  ~arr_hi ~g_lo ~g_hi ()
               in
               let fcfs_exact = exact_inputs && Step.equal dep_lo dep_hi in
               (* Thm 8/9-flavoured service curves for inspection. *)
@@ -517,6 +531,3 @@ let run ?(variant = `Sound) ?(extra_blocking = fun _ -> 0) ?release_horizon
       in
       List.iter compute order;
       Ok { system; horizon; release_horizon; entries }
-  in
-  Obs.span_end sp_run;
-  result

@@ -54,6 +54,7 @@ type t = {
 }
 
 val run :
+  ?cancel:Cancel.t ->
   ?variant:[ `Sound | `As_printed ] ->
   ?extra_blocking:(Rta_model.System.subjob_id -> int) ->
   ?release_horizon:int ->
@@ -64,6 +65,11 @@ val run :
     in [0, release_horizon] (default [horizon]); analyzing with
     [release_horizon < horizon] leaves slack for in-flight instances to
     depart, avoiding spurious [Unbounded] verdicts at the horizon edge.
+
+    [cancel] (default {!Cancel.never}) is polled before every subjob and
+    every few thousand FCFS instances; when it fires the walk unwinds with
+    {!Cancel.Cancelled} and no partial result escapes.  The service front
+    ends use it to enforce per-request deadlines mid-flight.
 
     [variant] selects the SPP/SPNP approximate bound construction:
     [`Sound] (default) uses the level-k busy-window formulation proved in
@@ -133,6 +139,7 @@ val sp_bounds :
     comment for the proof sketch. *)
 
 val fcfs_departures :
+  ?cancel:Cancel.t ->
   ?exact_inputs:bool ->
   horizon:int ->
   tau:int ->

@@ -152,6 +152,131 @@ let pipeline_bounds ~scheds ~sources =
   in
   { end_to_end; per_stage }
 
+(* ------------------------------------------------------------------ *)
+(* Whole systems: the degraded-mode fallback.                          *)
+(* ------------------------------------------------------------------ *)
+
+(* [system_bounds] generalizes [pipeline_bounds] from one-processor-per-
+   stage pipelines to arbitrary acyclic systems, so the service layer has
+   an envelope answer for any spec it can analyze exactly.  Subjobs are
+   walked in dependency order ({!Deps}); a subjob's arrival envelope is its
+   chain predecessor's envelope widened by the predecessor's response
+   jitter (stage 0: the release envelope), and its response bound is the
+   single-processor [response_bound] against its co-residents' envelopes.
+   Everything an interfering co-resident needs — its own predecessor's
+   envelope and bound — is a {!Deps} dependency of the subjob under
+   analysis, so the walk never reads an unset cell.  A diverging stage
+   poisons its own chain downstream (no envelope propagates), but unlike
+   the pipeline case other chains keep their bounds: interference uses
+   envelopes, not verdicts. *)
+let system_bounds system =
+  match Deps.compute system with
+  | Deps.Cyclic _ -> None
+  | Deps.Acyclic order ->
+      let release_horizon, _ = System.suggested_horizons system in
+      let n_jobs = System.job_count system in
+      let release_env =
+        Array.init n_jobs (fun j ->
+            Arrival.envelope (System.job system j).System.arrival
+              ~release_horizon)
+      in
+      let stage_count j = Array.length (System.job system j).System.steps in
+      let per_stage =
+        Array.init n_jobs (fun j -> Array.make (stage_count j) Unbounded)
+      in
+      let envs : Envelope.t option array array =
+        Array.init n_jobs (fun j -> Array.make (stage_count j) None)
+      in
+      (* Arrival envelope of [r], derivable as soon as its chain
+         predecessor has been processed (which Deps guarantees whenever we
+         ask).  [None] = upstream diverged, no envelope exists. *)
+      let arrival_env_of (r : System.subjob_id) =
+        let j = r.System.job and st = r.System.step in
+        if st = 0 then Some release_env.(j)
+        else
+          match (envs.(j).(st - 1), per_stage.(j).(st - 1)) with
+          | Some e, Bounded b ->
+              let tau_pred =
+                (System.job system j).System.steps.(st - 1).System.exec
+              in
+              Some (Envelope.widen e ~jitter:(max 0 (b - tau_pred)))
+          | _ -> None
+      in
+      let env_of (r : System.subjob_id) =
+        match envs.(r.System.job).(r.System.step) with
+        | Some _ as e -> e
+        | None -> arrival_env_of r
+      in
+      let compute (id : System.subjob_id) =
+        match arrival_env_of id with
+        | None -> () (* poisoned chain: this stage stays Unbounded *)
+        | Some own_env ->
+            envs.(id.System.job).(id.System.step) <- Some own_env;
+            let p = (System.step system id).System.proc in
+            let sched = System.scheduler_of system p in
+            let self_prio = (System.step system id).System.prio in
+            let residents = System.subjobs_on system p in
+            let interferes (r : System.subjob_id) =
+              r = id
+              ||
+              match sched with
+              | Sched.Fcfs -> true
+              | Sched.Spp | Sched.Spnp ->
+                  (System.step system r).System.prio < self_prio
+            in
+            (* Interfering residents need a real envelope; the rest only
+               contribute their [tau]/[prio] (SPNP blocking), so any
+               placeholder curve will do — it is never materialized. *)
+            let resolved =
+              List.map
+                (fun (r : System.subjob_id) ->
+                  let s = System.step system r in
+                  let env =
+                    if r = id then Some own_env
+                    else if interferes r then env_of r
+                    else Some release_env.(r.System.job)
+                  in
+                  (r, s, env))
+                residents
+            in
+            if List.for_all (fun (_, _, env) -> env <> None) resolved then begin
+              let sources =
+                List.map
+                  (fun ((r : System.subjob_id), (s : System.step), env) ->
+                    {
+                      name =
+                        Printf.sprintf "%s.%d"
+                          (System.job system r.System.job).System.name
+                          (r.System.step + 1);
+                      envelope = Option.get env;
+                      tau = s.System.exec;
+                      prio = s.System.prio;
+                    })
+                  resolved
+              in
+              let i =
+                let rec index k = function
+                  | [] -> assert false
+                  | (r, _, _) :: tl -> if r = id then k else index (k + 1) tl
+                in
+                index 0 resolved
+              in
+              per_stage.(id.System.job).(id.System.step) <-
+                response_bound ~sched ~sources i
+            end
+      in
+      List.iter compute order;
+      let end_to_end =
+        Array.init n_jobs (fun j ->
+            Array.fold_left
+              (fun acc v ->
+                match (acc, v) with
+                | Bounded a, Bounded b -> Bounded (a + b)
+                | Unbounded, _ | _, Unbounded -> Unbounded)
+              (Bounded 0) per_stage.(j))
+      in
+      Some { end_to_end; per_stage }
+
 let schedulable ~sched ~deadlines ~sources =
   if List.length deadlines <> List.length sources then
     invalid_arg "Envelope_analysis.schedulable: deadline count mismatch";

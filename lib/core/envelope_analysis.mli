@@ -78,3 +78,23 @@ type pipeline_result = {
 val pipeline_bounds :
   scheds:Rta_model.Sched.t array -> sources:pipeline_source list -> pipeline_result
 (** @raise Invalid_argument if the [taus] lengths disagree with [scheds]. *)
+
+(** {1 Whole systems}
+
+    The degraded-mode fallback of the service layer: when an exact analysis
+    is cancelled mid-flight ({!Cancel.Cancelled}), the server still owes the
+    client a sound answer, fast.  [system_bounds] is {!pipeline_bounds}
+    generalized to any acyclic {!Rta_model.System.t}: subjobs are processed
+    in dependency order ({!Deps}), each stage's arrival envelope is the
+    predecessor's envelope widened by the predecessor's response jitter, and
+    each stage's bound is {!response_bound} against its co-residents.  The
+    result shape matches {!Rta_model.System.t}: [per_stage.(j)] has one cell
+    per step of job [j] (rows are ragged), [end_to_end.(j)] is the Theorem 4
+    sum.  Cost is polynomial in the envelope descriptions — no trace horizon
+    is ever materialized beyond the busy windows. *)
+
+val system_bounds : Rta_model.System.t -> pipeline_result option
+(** [None] when the system's dependencies are cyclic ({!Deps.Cyclic}) —
+    envelope propagation needs an order; callers fall back to reporting the
+    timeout undegraded.  A stage whose bound diverges poisons its own
+    chain's downstream stages ([Unbounded]) but not other chains. *)

@@ -61,8 +61,8 @@ let unbounded_sentinel horizon = (2 * horizon) + 1
    previous value, so the dirty iterates, the convergence test and the
    iteration count coincide exactly with `Full recomputation — asserted by
    the differential tests in test/core. *)
-let analyze ?(max_iterations = 64) ?(strategy = (`Dirty : strategy))
-    ?release_horizon ~horizon system =
+let analyze ?(cancel = Cancel.never) ?(max_iterations = 64)
+    ?(strategy = (`Dirty : strategy)) ?release_horizon ~horizon system =
   let release_horizon = Option.value ~default:horizon release_horizon in
   Obs.incr c_analyses;
   let sp_run =
@@ -76,6 +76,9 @@ let analyze ?(max_iterations = 64) ?(strategy = (`Dirty : strategy))
     end
     else Obs.no_span
   in
+  (* Balanced even when a cancellation checkpoint raises mid-iteration:
+     closing the run span also restores the observer's span cursor. *)
+  Fun.protect ~finally:(fun () -> Obs.span_end sp_run) @@ fun () ->
   let n_jobs = System.job_count system in
   let chain j = (System.job system j).System.steps in
   let release_trace =
@@ -249,6 +252,7 @@ let analyze ?(max_iterations = 64) ?(strategy = (`Dirty : strategy))
   let changed = ref true in
   let residual = ref 0 in
   while !changed && !iterations < max_iterations do
+    Cancel.check cancel;
     incr iterations;
     changed := false;
     residual := 0;
@@ -304,6 +308,7 @@ let analyze ?(max_iterations = 64) ?(strategy = (`Dirty : strategy))
             ~work_hi:(Step.scale s_arr_hi s_tau)
         in
         let process_subjob (id : System.subjob_id) =
+          Cancel.check cancel;
           incr dirty_count;
           Obs.incr c_recomputes;
           let tau = (System.step system id).System.exec in
@@ -317,7 +322,8 @@ let analyze ?(max_iterations = 64) ?(strategy = (`Dirty : strategy))
                         Step.sum (List.map (fun i -> snd (work_of i)) residents)
                       ))
                 in
-                Engine.fcfs_departures ~horizon ~tau ~arr_lo ~arr_hi ~g_lo ~g_hi ()
+                Engine.fcfs_departures ~cancel ~horizon ~tau ~arr_lo ~arr_hi
+                  ~g_lo ~g_hi ()
             | Sched.Spp | Sched.Spnp ->
                 let svc_lo, svc_hi = svc_bounds_of id in
                 Engine.departures ~horizon ~tau ~arr_lo ~arr_hi ~svc_lo ~svc_hi

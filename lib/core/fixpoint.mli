@@ -48,6 +48,7 @@ type strategy = [ `Dirty | `Full ]
     [test/core]. *)
 
 val analyze :
+  ?cancel:Cancel.t ->
   ?max_iterations:int ->
   ?strategy:strategy ->
   ?release_horizon:int ->
@@ -55,4 +56,7 @@ val analyze :
   Rta_model.System.t ->
   result
 (** [max_iterations] defaults to 64; hitting it yields [Unbounded] for the
-    jobs still changing.  [strategy] defaults to [`Dirty]. *)
+    jobs still changing.  [strategy] defaults to [`Dirty].  [cancel]
+    (default {!Cancel.never}) is polled at every iteration and every
+    recomputed subjob; when it fires the iteration unwinds with
+    {!Cancel.Cancelled}. *)

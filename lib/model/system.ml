@@ -151,8 +151,12 @@ let suggested_horizons t =
       | Some p -> if p > !max_period then max_period := p
       | None -> ())
     t.jobs;
-  let release_horizon = 10 * !max_period in
-  (release_horizon, 2 * release_horizon)
+  (* Saturating: a degenerate system (one huge-period job, a trace spanning
+     near-max_int ticks) must suggest a large horizon, never a negative
+     one. *)
+  let sat_mul a k = if a > max_int / k then max_int else a * k in
+  let release_horizon = sat_mul !max_period 10 in
+  (release_horizon, sat_mul release_horizon 2)
 
 let pp ppf t =
   Format.fprintf ppf "@[<v>system: %d processors, %d jobs@," (processor_count t)

@@ -167,23 +167,30 @@ module Json = struct
              | 'u' ->
                  advance ();
                  let cp = hex4 () in
+                 (* Surrogate handling is exhaustive by construction: a low
+                    surrogate must never lead, a high surrogate must be
+                    immediately followed by a [\uDC00..\uDFFF] escape —
+                    including at end of input, where the old pair check
+                    would not even look.  Malformed input is rejected, never
+                    replaced: snapshots round-trip through this parser, so
+                    garbage must surface at ingest, not corrupt a store. *)
                  let cp =
-                   (* Surrogate pair: combine a high surrogate with the
-                      following \uXXXX low surrogate. *)
-                   if cp >= 0xD800 && cp <= 0xDBFF && !pos + 1 < n
-                      && s.[!pos] = '\\'
-                      && s.[!pos + 1] = 'u'
-                   then begin
-                     pos := !pos + 2;
-                     let lo = hex4 () in
-                     if lo >= 0xDC00 && lo <= 0xDFFF then
-                       0x10000 + (((cp - 0xD800) lsl 10) lor (lo - 0xDC00))
-                     else fail !pos "invalid low surrogate"
-                   end
+                   if cp >= 0xDC00 && cp <= 0xDFFF then
+                     fail (!pos - 4) "unpaired low surrogate"
+                   else if cp >= 0xD800 && cp <= 0xDBFF then
+                     if !pos + 1 < n && s.[!pos] = '\\' && s.[!pos + 1] = 'u'
+                     then begin
+                       pos := !pos + 2;
+                       let lo = hex4 () in
+                       if lo >= 0xDC00 && lo <= 0xDFFF then
+                         0x10000 + (((cp - 0xD800) lsl 10) lor (lo - 0xDC00))
+                       else
+                         fail (!pos - 4)
+                           "high surrogate not followed by a low surrogate"
+                     end
+                     else fail !pos "lone high surrogate"
                    else cp
                  in
-                 if cp >= 0xD800 && cp <= 0xDFFF then
-                   fail !pos "unpaired surrogate";
                  add_utf8 buf cp
              | c -> fail !pos "invalid escape \\%C" c);
             go ()

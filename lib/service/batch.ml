@@ -22,8 +22,11 @@ type analysis = {
   horizon : int;
 }
 
+type degraded = { d_verdicts : verdict array; d_schedulable : bool }
+
 type status =
   | Analyzed of analysis
+  | Degraded of degraded
   | Invalid of string
   | Timed_out
   | Failed of string
@@ -140,6 +143,7 @@ let requests_c = Rta_obs.counter "service.requests"
 let hits_c = Rta_obs.counter "service.cache.hits"
 let misses_c = Rta_obs.counter "service.cache.misses"
 let invalid_c = Rta_obs.counter "service.invalid"
+let degraded_c = Rta_obs.counter "service.degraded"
 let timeout_c = Rta_obs.counter "service.timeouts"
 let failed_c = Rta_obs.counter "service.failed"
 let queue_depth_g = Rta_obs.gauge "service.queue.depth"
@@ -184,8 +188,8 @@ let prepare = function
               P_ready
                 { req; system; key = Key.of_system ~config:req.config system }))
 
-let analyze_ready ~system ~config =
-  let report = Rta_core.Analysis.run ~config system in
+let analyze_ready ?cancel ~system ~config () =
+  let report = Rta_core.Analysis.run ?cancel ~config system in
   {
     method_used = report.Rta_core.Analysis.method_used;
     schedulable = report.Rta_core.Analysis.schedulable;
@@ -209,7 +213,182 @@ let method_tag = function
   | `Approximate -> "approximate"
   | `Fixpoint -> "fixpoint"
 
-let run ?(jobs = 1) ?(index_base = 0) ?cache requests =
+(* ------------------------------------------------------------------ *)
+(* Analysis result codec (the persistent store's payload format)       *)
+(* ------------------------------------------------------------------ *)
+
+let verdict_json v =
+  Json.Obj
+    [
+      ("name", Json.String v.job_name);
+      ( "bound_ticks",
+        match v.bound with Some b -> Json.Int b | None -> Json.Null );
+    ]
+
+let analysis_to_json a =
+  Json.Obj
+    [
+      ("method", Json.String (method_tag a.method_used));
+      ("schedulable", Json.Bool a.schedulable);
+      ("release_horizon", Json.Int a.release_horizon);
+      ("horizon", Json.Int a.horizon);
+      ("per_job", Json.List (Array.to_list a.verdicts |> List.map verdict_json));
+    ]
+
+let analysis_of_json json =
+  let ( let* ) = Result.bind in
+  match json with
+  | Json.Obj fields ->
+      let* method_used =
+        match List.assoc_opt "method" fields with
+        | Some (Json.String "exact") -> Ok `Exact
+        | Some (Json.String "approximate") -> Ok `Approximate
+        | Some (Json.String "fixpoint") -> Ok `Fixpoint
+        | _ -> Error "bad \"method\""
+      in
+      let* schedulable =
+        match List.assoc_opt "schedulable" fields with
+        | Some (Json.Bool b) -> Ok b
+        | _ -> Error "bad \"schedulable\""
+      in
+      let int_field name =
+        match List.assoc_opt name fields with
+        | Some (Json.Int i) -> Ok i
+        | _ -> Error (Printf.sprintf "bad %S" name)
+      in
+      let* release_horizon = int_field "release_horizon" in
+      let* horizon = int_field "horizon" in
+      let* verdicts =
+        match List.assoc_opt "per_job" fields with
+        | Some (Json.List vs) ->
+            List.fold_left
+              (fun acc v ->
+                let* acc = acc in
+                match v with
+                | Json.Obj f -> (
+                    match
+                      (List.assoc_opt "name" f, List.assoc_opt "bound_ticks" f)
+                    with
+                    | Some (Json.String job_name), Some (Json.Int b) ->
+                        Ok ({ job_name; bound = Some b } :: acc)
+                    | Some (Json.String job_name), Some Json.Null ->
+                        Ok ({ job_name; bound = None } :: acc)
+                    | _ -> Error "bad \"per_job\" entry")
+                | _ -> Error "bad \"per_job\" entry")
+              (Ok []) vs
+            |> Result.map (fun l -> Array.of_list (List.rev l))
+        | _ -> Error "bad \"per_job\""
+      in
+      Ok { method_used; schedulable; verdicts; release_horizon; horizon }
+  | _ -> Error "analysis payload must be a JSON object"
+
+let analysis_of_string s =
+  match Json.of_string s with
+  | Error e -> Error e
+  | Ok json -> analysis_of_json json
+
+(* ------------------------------------------------------------------ *)
+(* Per-request execution                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Sound last resort for a request whose exact analysis was cancelled
+   mid-flight: envelope bounds cost milliseconds and hold for every trace,
+   so the client still gets usable numbers inside (a small multiple of) its
+   deadline.  Cyclic systems have no envelope order; they report the plain
+   timeout.  Any failure here must read as the timeout it is, not as an
+   analysis error. *)
+let degrade system =
+  match Rta_core.Envelope_analysis.system_bounds system with
+  | None -> Timed_out
+  | Some r ->
+      let bound_of = function
+        | Rta_core.Envelope_analysis.Bounded b -> Some b
+        | Rta_core.Envelope_analysis.Unbounded -> None
+      in
+      let d_verdicts =
+        Array.mapi
+          (fun j v ->
+            {
+              job_name = (System.job system j).System.name;
+              bound = bound_of v;
+            })
+          r.Rta_core.Envelope_analysis.end_to_end
+      in
+      let d_schedulable =
+        Array.for_all Fun.id
+          (Array.mapi
+             (fun j v ->
+               match bound_of v with
+               | Some b -> b <= (System.job system j).System.deadline
+               | None -> false)
+             r.Rta_core.Envelope_analysis.end_to_end)
+      in
+      Degraded { d_verdicts; d_schedulable }
+  | exception _ -> Timed_out
+
+let execute ?cache ?store ~admitted prepared =
+  match prepared with
+  | P_invalid e -> Invalid e
+  | P_ready { req; system; key } -> (
+      let deadline =
+        Option.map
+          (fun d -> admitted +. d)
+          req.config.Rta_core.Analysis.deadline_s
+      in
+      let expired =
+        match deadline with Some d -> Rta_obs.now () > d | None -> false
+      in
+      if expired then Timed_out
+      else
+        let cancel =
+          match deadline with
+          | Some d -> Rta_core.Cancel.of_deadline d
+          | None -> Rta_core.Cancel.never
+        in
+        let khex = Key.to_hex key in
+        let fresh () =
+          let a = analyze_ready ~cancel ~system ~config:req.config () in
+          (match store with
+          | Some st ->
+              Store.put st ~key:khex (Json.to_string (analysis_to_json a))
+          | None -> ());
+          a
+        in
+        let compute () =
+          match store with
+          | None -> fresh ()
+          | Some st -> (
+              match Store.find st ~key:khex with
+              | None -> fresh ()
+              | Some payload -> (
+                  match analysis_of_string payload with
+                  | Ok a -> a
+                  | Error _ ->
+                      (* Syntactically valid JSON that is not an analysis
+                         (schema drift, manual edits): drop it and
+                         recompute. *)
+                      Store.remove st ~key:khex;
+                      fresh ()))
+        in
+        match
+          match cache with
+          | Some c -> (
+              match Cache.find_or_compute c ~key:khex compute with
+              | `Hit a | `Miss a -> a)
+          | None -> compute ()
+        with
+        | a -> Analyzed a
+        | exception Rta_core.Cancel.Cancelled -> degrade system
+        | exception e -> Failed (Printexc.to_string e))
+
+let status_tag = function
+  | Analyzed a -> if a.schedulable then "ok" else "unschedulable"
+  | Degraded _ -> "degraded"
+  | Invalid _ -> "invalid"
+  | Timed_out -> "timeout"
+  | Failed _ -> "failed"
+
+let run ?(jobs = 1) ?(index_base = 0) ?cache ?store requests =
   let cache = match cache with Some c -> c | None -> Cache.create () in
   let n = Array.length requests in
   let prepared = Array.map prepare requests in
@@ -238,37 +417,23 @@ let run ?(jobs = 1) ?(index_base = 0) ?cache requests =
   let task i =
     match prepared.(i) with
     | P_invalid e -> statuses.(i) <- Invalid e
-    | P_ready { req; system; key } ->
+    | P_ready { key; _ } as p ->
         let sp = Rta_obs.span_begin "service.request" in
         if Rta_obs.enabled () then begin
           Rta_obs.span_int sp "index" (index_base + i);
           Rta_obs.span_str sp "key" (Key.to_hex key)
         end;
         let t0 = Rta_obs.now () in
-        let deadline_hit =
-          match req.config.Rta_core.Analysis.deadline_s with
-          | Some d -> Rta_obs.now () -. started > d
-          | None -> false
-        in
-        let status =
-          if deadline_hit then Timed_out
-          else
-            match
-              Cache.find_or_compute cache ~key:(Key.to_hex key) (fun () ->
-                  analyze_ready ~system ~config:req.config)
-            with
-            | `Hit a | `Miss a -> Analyzed a
-            | exception e -> Failed (Printexc.to_string e)
-        in
+        (* Deadlines are measured from batch submission: [execute] turns
+           [deadline_ms] into a cancellation token, so a request that is
+           past due is dropped up front AND one that overruns mid-analysis
+           is actually stopped (then degraded), not merely relabelled after
+           the full engine run completes. *)
+        let status = execute ~cache ?store ~admitted:started p in
         statuses.(i) <- status;
         if Rta_obs.enabled () then begin
           Rta_obs.observe request_h (Rta_obs.now () -. t0);
-          Rta_obs.span_str sp "status"
-            (match status with
-            | Analyzed a -> if a.schedulable then "ok" else "unschedulable"
-            | Invalid _ -> "invalid"
-            | Timed_out -> "timeout"
-            | Failed _ -> "failed");
+          Rta_obs.span_str sp "status" (status_tag status);
           Rta_obs.set_gauge queue_depth_g (Atomic.fetch_and_add remaining (-1) - 1)
         end;
         Rta_obs.span_end sp
@@ -290,6 +455,7 @@ let run ?(jobs = 1) ?(index_base = 0) ?cache requests =
         | `Uncached -> ());
         match status with
         | Analyzed _ -> ()
+        | Degraded _ -> Rta_obs.incr degraded_c
         | Invalid _ -> Rta_obs.incr invalid_c
         | Timed_out -> Rta_obs.incr timeout_c
         | Failed _ -> Rta_obs.incr failed_c)
@@ -311,6 +477,9 @@ let response_json r =
   let fields =
     match r.status with
     | Analyzed a ->
+        let analysis_fields =
+          match analysis_to_json a with Json.Obj f -> f | _ -> assert false
+        in
         base
         @ [
             ("status", Json.String "ok");
@@ -320,22 +489,21 @@ let response_json r =
                 | `Hit -> "hit"
                 | `Miss -> "miss"
                 | `Uncached -> "none") );
-            ("method", Json.String (method_tag a.method_used));
-            ("schedulable", Json.Bool a.schedulable);
-            ("release_horizon", Json.Int a.release_horizon);
-            ("horizon", Json.Int a.horizon);
+          ]
+        @ analysis_fields
+    | Degraded d ->
+        (* The bounds are sound but come from the cheap envelope fallback,
+           not the engine: "degraded" tells the client its deadline fired
+           mid-analysis and these numbers are coarser than an "ok" answer
+           for the same spec would be. *)
+        base
+        @ [
+            ("status", Json.String "degraded");
+            ("method", Json.String "envelope");
+            ("schedulable", Json.Bool d.d_schedulable);
             ( "per_job",
-              Json.List
-                (Array.to_list a.verdicts
-                |> List.map (fun v ->
-                       Json.Obj
-                         [
-                           ("name", Json.String v.job_name);
-                           ( "bound_ticks",
-                             match v.bound with
-                             | Some b -> Json.Int b
-                             | None -> Json.Null );
-                         ])) );
+              Json.List (Array.to_list d.d_verdicts |> List.map verdict_json)
+            );
           ]
     | Invalid e -> base @ [ ("status", Json.String "invalid"); ("error", Json.String e) ]
     | Timed_out -> base @ [ ("status", Json.String "timeout") ]
@@ -353,6 +521,7 @@ type summary = {
   total : int;
   analyzed : int;
   schedulable : int;
+  degraded : int;
   invalid : int;
   timed_out : int;
   failed : int;
@@ -365,6 +534,7 @@ let empty_summary =
     total = 0;
     analyzed = 0;
     schedulable = 0;
+    degraded = 0;
     invalid = 0;
     timed_out = 0;
     failed = 0;
@@ -387,6 +557,7 @@ let add_response s r =
         analyzed = s.analyzed + 1;
         schedulable = (s.schedulable + if a.schedulable then 1 else 0);
       }
+  | Degraded _ -> { s with degraded = s.degraded + 1 }
   | Invalid _ -> { s with invalid = s.invalid + 1 }
   | Timed_out -> { s with timed_out = s.timed_out + 1 }
   | Failed _ -> { s with failed = s.failed + 1 }
@@ -395,7 +566,7 @@ let summarize responses = Array.fold_left add_response empty_summary responses
 
 let pp_summary ppf s =
   Format.fprintf ppf
-    "%d requests: %d analyzed (%d schedulable), %d invalid, %d timeout, %d \
-     failed; cache %d hits / %d misses"
-    s.total s.analyzed s.schedulable s.invalid s.timed_out s.failed
+    "%d requests: %d analyzed (%d schedulable), %d degraded, %d invalid, %d \
+     timeout, %d failed; cache %d hits / %d misses"
+    s.total s.analyzed s.schedulable s.degraded s.invalid s.timed_out s.failed
     s.cache_hits s.cache_misses

@@ -60,10 +60,23 @@ type analysis = {
   horizon : int;
 }
 
+type degraded = {
+  d_verdicts : verdict array;  (** envelope end-to-end bounds, per job *)
+  d_schedulable : bool;
+}
+(** What a request gets when its deadline fires {e mid-analysis}: sound
+    {!Rta_core.Envelope_analysis.system_bounds} numbers computed in
+    milliseconds instead of the engine's exact answer.  Coarser, never
+    wrong. *)
+
 type status =
   | Analyzed of analysis
+  | Degraded of degraded
+      (** deadline fired during analysis; envelope fallback answered *)
   | Invalid of string  (** request or spec did not parse / validate *)
   | Timed_out
+      (** deadline already past when a worker picked the request up, or the
+          fallback itself was unavailable (cyclic dependencies) *)
   | Failed of string  (** the analysis raised; only this request fails *)
 
 type response = {
@@ -79,10 +92,43 @@ val resolve_horizons :
     {!Rta_core.Analysis.resolve_horizons}, the single home of the
     defaulting rule shared with [rta analyze]. *)
 
+(** {1 Per-request building blocks}
+
+    {!prepare} and {!execute} are the two halves {!run} is made of,
+    exported so the daemon ({!Server}) can admit, queue and cancel
+    requests individually while sharing every byte of the decoding,
+    caching and encoding logic with one-shot batches. *)
+
+type prepared =
+  | P_invalid of string
+  | P_ready of { req : request; system : Rta_model.System.t; key : Key.t }
+
+val prepare : (request, string) result -> prepared
+(** Parse and validate the spec, apply [auto_prio], derive the cache key.
+    Pure; safe to call on the admission thread. *)
+
+val execute :
+  ?cache:analysis Cache.t ->
+  ?store:Store.t ->
+  admitted:float ->
+  prepared ->
+  status
+(** Analyze one prepared request.  [admitted] (a {!Rta_obs.now} timestamp)
+    anchors the request's [deadline_ms]: already past due means
+    [Timed_out] without touching the engine; otherwise the deadline
+    becomes a {!Rta_core.Cancel} token polled inside the engine, and a
+    mid-flight expiry degrades the request to envelope bounds
+    ([Degraded]) instead of letting it run to completion.  [cache]
+    memoizes within the process; [store] adds a persistent read-through /
+    write-through layer (hits skip the engine entirely, fresh results are
+    persisted before returning; degraded and failed outcomes are never
+    stored). *)
+
 val run :
   ?jobs:int ->
   ?index_base:int ->
   ?cache:analysis Cache.t ->
+  ?store:Store.t ->
   (request, string) result array ->
   response array
 (** Analyze a batch.  [Error] elements (undecodable lines) become
@@ -93,6 +139,21 @@ val run :
     [service.requests], [service.cache.hits]/[.misses],
     [service.invalid]/[.timeouts]/[.failed], the [service.queue.depth]
     gauge and per-request [service.request] spans into {!Rta_obs}. *)
+
+val analysis_to_json : analysis -> Rta_obs.Json.t
+(** The store payload format: exactly the analysis fields of an "ok"
+    response ([method], [schedulable], [release_horizon], [horizon],
+    [per_job]), no envelope. *)
+
+val analysis_of_json : Rta_obs.Json.t -> (analysis, string) result
+val analysis_of_string : string -> (analysis, string) result
+(** Inverse of {!analysis_to_json} composed with JSON parsing; [Error]
+    for anything that does not decode, which callers treat as a corrupt
+    store entry. *)
+
+val status_tag : status -> string
+(** Short label for spans and logs: ["ok"], ["unschedulable"],
+    ["degraded"], ["invalid"], ["timeout"] or ["failed"]. *)
 
 val response_json : response -> Rta_obs.Json.t
 (** Always carries [("schema_version", 1)] as its first field; see
@@ -105,6 +166,7 @@ type summary = {
   total : int;
   analyzed : int;
   schedulable : int;
+  degraded : int;
   invalid : int;
   timed_out : int;
   failed : int;

@@ -72,21 +72,29 @@ let find_or_compute t ~key f =
         Hashtbl.replace t.tbl key Pending;
         t.misses <- t.misses + 1;
         Mutex.unlock t.mutex;
-        (match f () with
-        | v ->
+        (* From here until the marker is resolved, EVERY exit path —
+           including asynchronous exceptions landing between the unlock
+           above and the call to [f], and {!Cancel.Cancelled} unwinding out
+           of [f] — must clear the Pending marker, or waiters block forever
+           and the key can never be computed again.  [Fun.protect] makes the
+           cleanup unconditional; the happy path marks completion first so
+           the finaliser knows not to evict the fresh result. *)
+        let completed = ref false in
+        Fun.protect
+          ~finally:(fun () ->
+            if not !completed then begin
+              Mutex.lock t.mutex;
+              Hashtbl.remove t.tbl key;
+              Condition.broadcast t.cond;
+              Mutex.unlock t.mutex
+            end)
+          (fun () ->
+            let v = f () in
             Mutex.lock t.mutex;
             Hashtbl.replace t.tbl key (Done v);
+            completed := true;
             Condition.broadcast t.cond;
             Mutex.unlock t.mutex;
-            `Miss v
-        | exception e ->
-            (* Do not poison the cache: drop the marker so a later caller
-               retries, wake any waiter, and let the failure propagate to
-               this request only. *)
-            Mutex.lock t.mutex;
-            Hashtbl.remove t.tbl key;
-            Condition.broadcast t.cond;
-            Mutex.unlock t.mutex;
-            raise e)
+            `Miss v)
   in
   decide ()

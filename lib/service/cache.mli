@@ -5,7 +5,12 @@
     key being computed is marked in-flight so concurrent requests for the
     same key block on a condition variable and reuse the single result
     instead of recomputing.  A computation that raises does not poison
-    the cache — the marker is removed, waiters are woken and retry.
+    the cache — the marker is removed, waiters are woken and retry.  The
+    cleanup is exception-safe ([Fun.protect]): even an asynchronous
+    exception or a mid-flight cancellation ({!Cancel.Cancelled}) unwinding
+    through the computation leaves no stale marker behind, which matters in
+    a long-running daemon where a leaked marker would wedge every future
+    request for that key.
 
     There is no eviction: the intended lifetime is one batch run (or one
     service process), and entries are a few hundred bytes each. *)

@@ -1,0 +1,70 @@
+(** Long-running NDJSON analysis daemon ([rta serve]).
+
+    Speaks the {!Batch} wire format — one request object per line in, one
+    response object per line out — over standard input/output, a
+    Unix-domain socket, or both at once.  Unlike a one-shot batch,
+    responses are written {e in completion order}: clients correlate by
+    the echoed [id] (or the daemon-assigned [index]).
+
+    {b Admission and backpressure.}  Each line is decoded and prepared on
+    the connection's reader thread; invalid requests are answered
+    immediately.  Valid ones enter a bounded queue.  When the queue is
+    full the daemon answers [{"status":"queue_full"}] right away instead
+    of buffering without bound — the client owns the retry policy.
+
+    {b Deadlines.}  A request's [deadline_ms] starts at admission, so
+    queue time counts against it.  Expiry before a worker picks the
+    request up yields ["timeout"]; expiry {e during} analysis cancels the
+    engine and degrades to envelope bounds (["degraded"]) — see
+    {!Batch.execute}.
+
+    {b Caching.}  Workers share an in-process {!Cache} and, when
+    configured, a persistent {!Store}: a restarted daemon answers
+    previously-seen specs from disk without re-running the engine.
+
+    {b Shutdown.}  SIGTERM/SIGINT (or {!stop}, or end-of-input in
+    pure-stdio mode) stops admission, drains every admitted request,
+    flushes the store and removes the socket file before {!serve}
+    returns.  Clients never see a connection die with admitted requests
+    unanswered. *)
+
+type config = {
+  workers : int;  (** worker pool size (parallel on OCaml >= 5) *)
+  max_queue : int;  (** admitted-but-unstarted request cap *)
+  defaults : Batch.request;  (** per-request field defaults *)
+  store : Store.t option;  (** persistent result store *)
+  socket : string option;  (** Unix-domain socket path to listen on *)
+  stdio : bool;  (** serve stdin/stdout as a connection *)
+}
+
+val config :
+  ?workers:int ->
+  ?max_queue:int ->
+  ?defaults:Batch.request ->
+  ?store:Store.t ->
+  ?socket:string ->
+  ?stdio:bool ->
+  unit ->
+  config
+(** Defaults: {!Backend.default_jobs} workers, [max_queue = 64], batch
+    request defaults, no store, no socket, [stdio = true]. *)
+
+type t
+
+val create : config -> t
+(** Prepare a daemon (no I/O yet).  @raise Invalid_argument if both
+    [socket] and [stdio] are disabled, or the bounds are non-positive. *)
+
+val serve : t -> unit
+(** Run until shutdown, then drain and return.  Installs SIGTERM/SIGINT
+    handlers for the duration of the call (previous dispositions are
+    restored) — tests that cannot use signals call {!stop} from another
+    thread instead.  May be called at most once per {!t}. *)
+
+val stop : t -> unit
+(** Request graceful shutdown from any thread; idempotent, returns
+    immediately (drain happens inside {!serve}). *)
+
+val requests_served : t -> int
+(** Responses written so far (including invalid and queue_full), for
+    tests and the shutdown log line. *)

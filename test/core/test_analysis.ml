@@ -984,6 +984,62 @@ let test_sensitivity_scale_executions () =
   let tiny = Rta_core.Sensitivity.scale_executions s 0.0001 in
   check_int "min one tick" 1 (System.job tiny 0).System.steps.(0).System.exec
 
+let test_resolve_horizons_degenerate () =
+  (* The horizon-defaulting rule feeds array sizings everywhere downstream;
+     on degenerate systems it must stay positive and saturate instead of
+     wrapping negative. *)
+  let resolve ?release_horizon ?horizon system =
+    let config =
+      {
+        Rta_core.Analysis.default with
+        Rta_core.Analysis.release_horizon;
+        horizon;
+      }
+    in
+    Rta_core.Analysis.resolve_horizons config system
+  in
+  let check_positive label (rh, h) =
+    Alcotest.(check bool) (label ^ ": release horizon positive") true (rh > 0);
+    Alcotest.(check bool) (label ^ ": horizon positive") true (h > 0)
+  in
+  let huge =
+    one_proc_system
+      [
+        job "huge"
+          (Arrival.Periodic { period = max_int / 2; offset = 0 })
+          [ { System.proc = 0; exec = 1; prio = 1 } ];
+      ]
+  in
+  check_positive "huge period" (resolve huge);
+  Alcotest.(check (pair int int)) "x10/x2 derivations saturate at max_int"
+    (max_int, max_int) (resolve huge);
+  (* A single-instance trace has no rate to derive from: the floor applies
+     and the derived window still covers the release. *)
+  let trace =
+    one_proc_system
+      [
+        job "once" (Arrival.Trace [| 5 |])
+          [ { System.proc = 0; exec = 2; prio = 1 } ];
+      ]
+  in
+  let rh, h = resolve trace in
+  check_positive "single-instance trace" (rh, h);
+  Alcotest.(check bool) "derived horizon covers the release window" true
+    (h >= rh);
+  (* Explicit near-max_int release horizon: the derived [2 * rh] must
+     saturate, not overflow. *)
+  check_positive "explicit max_int release horizon"
+    (resolve ~release_horizon:max_int trace);
+  Alcotest.(check int) "derived horizon saturates" max_int
+    (snd (resolve ~release_horizon:max_int trace));
+  (* Non-positive explicit fields are clamped to 1, never propagated. *)
+  check_positive "zero release horizon clamped" (resolve ~release_horizon:0 trace);
+  Alcotest.(check int) "clamped to one tick" 1
+    (fst (resolve ~release_horizon:0 trace));
+  check_positive "negative horizon clamped" (resolve ~horizon:(-3) trace);
+  Alcotest.(check int) "negative horizon becomes one" 1
+    (snd (resolve ~horizon:(-3) trace))
+
 let () =
   Alcotest.run "rta_core"
     [
@@ -1021,6 +1077,8 @@ let () =
           Alcotest.test_case "empty trace job" `Quick test_empty_trace_job;
           Alcotest.test_case "deadline exactly met" `Quick test_deadline_exactly_met;
           Alcotest.test_case "horizon edge" `Quick test_horizon_edge_unbounded;
+          Alcotest.test_case "resolve_horizons degenerate" `Quick
+            test_resolve_horizons_degenerate;
           prop_sum_equals_direct_single_stage;
         ] );
       ( "invariants",

@@ -240,6 +240,48 @@ let test_json_roundtrip () =
   | Ok j -> Alcotest.check json "roundtrip" v j
   | Error e -> Alcotest.fail ("roundtrip failed: " ^ e)
 
+(* \uXXXX surrogate handling: every malformed combination is a parse
+   error with a useful offset, never a bogus code point or a crash; valid
+   pairs decode to the astral code point's UTF-8. *)
+let test_json_surrogates () =
+  let module J = Obs.Json in
+  let ok s expected =
+    match Obs.Json.of_string s with
+    | Ok j -> Alcotest.check json s expected j
+    | Error e -> Alcotest.fail (Printf.sprintf "%s: unexpected error %s" s e)
+  in
+  let err s =
+    match Obs.Json.of_string s with
+    | Ok j ->
+        Alcotest.fail
+          (Printf.sprintf "%s: expected an error, got %s" s (J.to_string j))
+    | Error e ->
+        check_bool
+          (Printf.sprintf "%s: error carries the offset (%s)" s e)
+          true (contains_substring ~sub:"offset" e)
+  in
+  (* Valid escaped pair: U+1F600 decodes to its UTF-8 bytes. *)
+  ok "\"\\ud83d\\ude00\"" (J.String "\xf0\x9f\x98\x80");
+  ok "\"a\\ud83d\\ude00b\"" (J.String "a\xf0\x9f\x98\x80b");
+  (* The BMP neighbours of the surrogate range are ordinary code points. *)
+  ok "\"\\ud7ff\"" (J.String "\xed\x9f\xbf");
+  ok "\"\\ue000\"" (J.String "\xee\x80\x80");
+  (* Lone high surrogate at end of input. *)
+  err {|"\ud800"|};
+  (* Lone high surrogate followed by ordinary content. *)
+  err {|"\ud800x"|};
+  err {|"\ud800\n"|};
+  (* High surrogate followed by a non-low escape. *)
+  err {|"\ud800A"|};
+  (* High followed by another high. *)
+  err {|"\ud800\ud800"|};
+  (* Unpaired low surrogate leading. *)
+  err {|"\udc00"|};
+  err {|"\udfff"|};
+  (* Truncated second escape. *)
+  err {|"\ud83d\ude0|};
+  err {|"\ud83d\u|}
+
 (* ------------------------------------------------------------------ *)
 (* Engine instrumentation                                              *)
 (* ------------------------------------------------------------------ *)
@@ -390,6 +432,7 @@ let () =
         [
           Alcotest.test_case "of_string" `Quick test_json_of_string;
           Alcotest.test_case "roundtrip" `Quick test_json_roundtrip;
+          Alcotest.test_case "surrogates" `Quick test_json_surrogates;
         ] );
       ( "engine",
         [ Alcotest.test_case "subjob spans" `Quick test_engine_spans ] );

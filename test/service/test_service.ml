@@ -322,6 +322,398 @@ let test_response_roundtrips_as_json () =
       | _ -> Alcotest.fail "per_job should be a non-empty list")
   | Ok _ -> Alcotest.fail "response line should be a JSON object"
 
+(* ------------------------------------------------------------------ *)
+(* Deadline enforcement: mid-flight cancellation, degraded answers     *)
+(* ------------------------------------------------------------------ *)
+
+module Store = Rta_service.Store
+module Server = Rta_service.Server
+
+(* A spec the engine chews on for seconds at the horizons below: wide
+   FCFS jobshop, with [release_horizon] raised so the released-instance
+   population — what the cost actually scales with — is large. *)
+let slow_spec =
+  let config =
+    Rta_workload.Jobshop.default ~stages:4 ~jobs:8 ~utilization:0.5
+      ~arrival:Rta_workload.Jobshop.Periodic_eq25
+      ~deadline:(Rta_workload.Jobshop.Multiple_of_period 2.0)
+      ~sched:Sched.Fcfs
+  in
+  Parser.print
+    (Rta_workload.Jobshop.generate config ~rng:(Rta_workload.Rng.make 3))
+
+let slow_config ?deadline_s () =
+  Rta_core.Analysis.config ?deadline_s ~release_horizon:4_000_000
+    ~horizon:8_000_000 ()
+
+let test_midflight_degrade () =
+  let requests =
+    [|
+      Ok
+        (Batch.request ~id:"slow"
+           ~config:(slow_config ~deadline_s:0.4 ())
+           slow_spec);
+    |]
+  in
+  let t0 = Unix.gettimeofday () in
+  let responses = Batch.run ~jobs:1 requests in
+  let elapsed = Unix.gettimeofday () -. t0 in
+  (match responses.(0).Batch.status with
+  | Batch.Degraded d ->
+      check_int "degraded carries a verdict per job" 8
+        (Array.length d.Batch.d_verdicts);
+      Array.iter
+        (fun (v : Batch.verdict) ->
+          check_bool "envelope bounds are finite here" true (v.Batch.bound <> None))
+        d.Batch.d_verdicts
+  | s -> Alcotest.failf "expected a degraded response, got %s" (Batch.status_tag s));
+  (* The full analysis takes many seconds at these horizons; the point of
+     cancellation is that an expired request never pays that.  The bound
+     is generous (CI machines vary) but far below the full run. *)
+  check_bool
+    (Printf.sprintf "cancelled well before completion (took %.1fs)" elapsed)
+    true (elapsed < 6.0);
+  match Json.of_string (Batch.response_line responses.(0)) with
+  | Ok (Json.Obj f) ->
+      check_bool "status rendered as degraded" true
+        (List.assoc_opt "status" f = Some (Json.String "degraded"));
+      check_bool "method rendered as envelope" true
+        (List.assoc_opt "method" f = Some (Json.String "envelope"))
+  | _ -> Alcotest.fail "degraded response line should be a JSON object"
+
+let test_degraded_matches_envelope () =
+  let system = parse_exn slow_spec in
+  let expected =
+    match Rta_core.Envelope_analysis.system_bounds system with
+    | Some r -> r.Rta_core.Envelope_analysis.end_to_end
+    | None -> Alcotest.fail "jobshop systems are acyclic"
+  in
+  let requests =
+    [|
+      Ok
+        (Batch.request ~id:"slow"
+           ~config:(slow_config ~deadline_s:0.3 ())
+           slow_spec);
+    |]
+  in
+  match (Batch.run ~jobs:1 requests).(0).Batch.status with
+  | Batch.Degraded d ->
+      Array.iteri
+        (fun j (v : Batch.verdict) ->
+          let e =
+            match expected.(j) with
+            | Rta_core.Envelope_analysis.Bounded b -> Some b
+            | Rta_core.Envelope_analysis.Unbounded -> None
+          in
+          check_bool "degraded bound is exactly the envelope bound" true
+            (v.Batch.bound = e))
+        d.Batch.d_verdicts
+  | s -> Alcotest.failf "expected degraded, got %s" (Batch.status_tag s)
+
+let test_cache_cancelled_not_poisoned () =
+  let c = Cache.create () in
+  (try
+     ignore
+       (Cache.find_or_compute c ~key:"k" (fun () ->
+            raise Rta_core.Cancel.Cancelled))
+   with Rta_core.Cancel.Cancelled -> ());
+  check_bool "cancelled compute leaves no marker" false (Cache.mem c "k");
+  (match Cache.find_or_compute c ~key:"k" (fun () -> 9) with
+  | `Miss 9 -> ()
+  | _ -> Alcotest.fail "retry after cancellation should compute");
+  check_bool "retry cached" true (Cache.find c "k" = Some 9)
+
+(* ------------------------------------------------------------------ *)
+(* Persistent store                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let temp_counter = ref 0
+
+let temp_dir prefix =
+  incr temp_counter;
+  let d =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "rta-test-%s-%d-%d" prefix (Unix.getpid ()) !temp_counter)
+  in
+  (try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  d
+
+let validate_analysis s = Result.is_ok (Batch.analysis_of_string s)
+
+let test_store_warm_restart () =
+  let dir = temp_dir "store" in
+  let requests = corpus ~n:3 ~unique:3 in
+  let cold =
+    let store = Store.open_ ~validate:validate_analysis dir in
+    let r = Batch.run ~jobs:1 ~cache:(Cache.create ()) ~store requests in
+    Store.flush store;
+    let s = Store.stats store in
+    check_int "cold run misses the store" 3 s.Store.misses;
+    check_int "cold run populates the store" 3 s.Store.entries;
+    r
+  in
+  (* A fresh process: new store handle, empty in-process cache.  Every
+     result must come off disk without touching the engine. *)
+  let store = Store.open_ ~validate:validate_analysis dir in
+  let warm = Batch.run ~jobs:1 ~cache:(Cache.create ()) ~store requests in
+  let s = Store.stats store in
+  check_int "warm restart answers from the store" 3 s.Store.hits;
+  check_int "warm restart never recomputes" 0 s.Store.misses;
+  check_string "restart changes no response bytes" (render cold) (render warm)
+
+let test_store_corruption_evicted () =
+  let dir = temp_dir "corrupt" in
+  let requests = [| Ok (Batch.request ~id:"a" (spec_of_seed 4)) |] in
+  let store = Store.open_ ~validate:validate_analysis dir in
+  ignore (Batch.run ~jobs:1 ~cache:(Cache.create ()) ~store requests);
+  let entry =
+    match
+      Sys.readdir dir |> Array.to_list
+      |> List.filter (fun f -> Filename.check_suffix f ".json")
+    with
+    | [ f ] -> Filename.concat dir f
+    | l -> Alcotest.failf "expected one store entry, found %d" (List.length l)
+  in
+  let oc = open_out entry in
+  output_string oc "{ definitely not an analysis";
+  close_out oc;
+  (* Fresh handle, as after a restart onto a damaged directory. *)
+  let store = Store.open_ ~validate:validate_analysis dir in
+  let responses = Batch.run ~jobs:1 ~cache:(Cache.create ()) ~store requests in
+  (match responses.(0).Batch.status with
+  | Batch.Analyzed _ -> ()
+  | s ->
+      Alcotest.failf "corruption must degrade to a recompute, got %s"
+        (Batch.status_tag s));
+  let s = Store.stats store in
+  check_int "corrupt entry detected and evicted" 1 s.Store.corrupt;
+  check_int "and recomputed" 1 s.Store.misses;
+  let ic = open_in_bin entry in
+  let payload = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  check_bool "entry healed on disk by the recompute" true
+    (validate_analysis payload)
+
+let test_store_lru_eviction () =
+  let dir = temp_dir "lru" in
+  let key i = Printf.sprintf "%032x" i in
+  (* 30 bytes each; three fit under the 100-byte cap, four do not. *)
+  let payload i = Printf.sprintf "payload-%d-%s" i (String.make 20 'x') in
+  let store = Store.open_ ~max_bytes:100 dir in
+  for i = 0 to 2 do
+    Store.put store ~key:(key i) (payload i)
+  done;
+  check_bool "all three fit" true (Store.find store ~key:(key 0) <> None);
+  (* That find refreshed key 0, so key 1 is now the least recently used. *)
+  Store.put store ~key:(key 3) (payload 3);
+  check_bool "LRU entry evicted" true (Store.find store ~key:(key 1) = None);
+  check_bool "recently-used entry survives" true
+    (Store.find store ~key:(key 0) <> None);
+  check_bool "newest entry present" true (Store.find store ~key:(key 3) <> None);
+  check_bool "evictions counted" true ((Store.stats store).Store.evictions >= 1)
+
+let test_store_hygiene () =
+  let dir = temp_dir "hygiene" in
+  let stale = Filename.concat dir ".tmp.deadbeef.9999" in
+  let oc = open_out stale in
+  output_string oc "half-written";
+  close_out oc;
+  let manual_key = String.make 32 'a' in
+  let oc = open_out (Filename.concat dir (manual_key ^ ".json")) in
+  output_string oc "hello";
+  close_out oc;
+  let store = Store.open_ dir in
+  check_bool "stale temporary swept on open" false (Sys.file_exists stale);
+  check_bool "pre-existing entry indexed" true
+    (Store.find store ~key:manual_key = Some "hello");
+  check_bool "path-traversal keys never touch the filesystem" true
+    (Store.find store ~key:"../../etc/passwd" = None);
+  Store.put store ~key:"not-a-key" "x";
+  check_bool "malformed keys are not stored" true
+    (Store.find store ~key:"not-a-key" = None)
+
+(* ------------------------------------------------------------------ *)
+(* Daemon (socket transport; stop () instead of signals)               *)
+(* ------------------------------------------------------------------ *)
+
+let socket_path name =
+  Filename.concat
+    (Filename.get_temp_dir_name ())
+    (Printf.sprintf "rta-test-%s-%d.sock" name (Unix.getpid ()))
+
+let wait_for ?(timeout = 30.) pred what =
+  let deadline = Unix.gettimeofday () +. timeout in
+  let rec go () =
+    if not (pred ()) then
+      if Unix.gettimeofday () > deadline then
+        Alcotest.failf "timed out waiting for %s" what
+      else begin
+        ignore (Unix.select [] [] [] 0.02);
+        go ()
+      end
+  in
+  go ()
+
+let connect path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX path);
+  fd
+
+let send_line fd line =
+  let payload = Bytes.of_string (line ^ "\n") in
+  let len = Bytes.length payload in
+  let rec go off =
+    if off < len then go (off + Unix.write fd payload off (len - off))
+  in
+  go 0
+
+(* Newline-terminated lines read so far; a partial trailing line does not
+   count. *)
+let recv_lines ?(timeout = 60.) fd n =
+  let buf = Buffer.create 256 in
+  let chunk = Bytes.create 4096 in
+  let deadline = Unix.gettimeofday () +. timeout in
+  let complete () =
+    match List.rev (String.split_on_char '\n' (Buffer.contents buf)) with
+    | _partial :: rev -> List.filter (fun s -> s <> "") (List.rev rev)
+    | [] -> []
+  in
+  let rec go () =
+    if List.length (complete ()) >= n then complete ()
+    else if Unix.gettimeofday () > deadline then
+      Alcotest.failf "timed out waiting for %d response lines (got %d)" n
+        (List.length (complete ()))
+    else
+      match Unix.select [ fd ] [] [] 0.2 with
+      | [], _, _ -> go ()
+      | _ -> (
+          match Unix.read fd chunk 0 (Bytes.length chunk) with
+          | 0 -> complete ()
+          | k ->
+              Buffer.add_subbytes buf chunk 0 k;
+              go ())
+  in
+  go ()
+
+let status_of line =
+  match Json.of_string line with
+  | Ok (Json.Obj f) -> (
+      match List.assoc_opt "status" f with
+      | Some (Json.String s) -> s
+      | _ -> Alcotest.failf "no status in %s" line)
+  | _ -> Alcotest.failf "response is not a JSON object: %s" line
+
+let id_of line =
+  match Json.of_string line with
+  | Ok (Json.Obj f) -> (
+      match List.assoc_opt "id" f with
+      | Some (Json.String s) -> Some s
+      | _ -> None)
+  | _ -> None
+
+let req_json ?deadline_ms ?horizon ?release_horizon ~id spec =
+  let num name v = Option.to_list (Option.map (fun x -> (name, Json.Int x)) v) in
+  Json.to_string
+    (Json.Obj
+       (("id", Json.String id)
+       :: ("spec", Json.String spec)
+       :: (num "deadline_ms" deadline_ms
+          @ num "horizon" horizon
+          @ num "release_horizon" release_horizon)))
+
+let with_server cfg f =
+  let t = Server.create cfg in
+  let thread = Thread.create Server.serve t in
+  (match cfg.Server.socket with
+  | Some path -> wait_for (fun () -> Sys.file_exists path) "the daemon socket"
+  | None -> ());
+  Fun.protect
+    ~finally:(fun () ->
+      Server.stop t;
+      Thread.join thread)
+    (fun () -> f t)
+
+let with_client path f =
+  let fd = connect path in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () -> f fd)
+
+let test_server_roundtrip () =
+  let path = socket_path "roundtrip" in
+  let cfg = Server.config ~workers:2 ~max_queue:8 ~socket:path ~stdio:false () in
+  with_server cfg (fun t ->
+      with_client path (fun fd ->
+          send_line fd (req_json ~id:"good" sample_spec);
+          send_line fd (req_json ~id:"bad" "processors warp\n");
+          send_line fd "this is not json";
+          let lines = recv_lines fd 3 in
+          check_int "one response per request" 3 (List.length lines);
+          let by_id id = List.find_opt (fun l -> id_of l = Some id) lines in
+          (match by_id "good" with
+          | Some l -> check_string "valid request analyzed" "ok" (status_of l)
+          | None -> Alcotest.fail "no response echoing id good");
+          (match by_id "bad" with
+          | Some l ->
+              check_string "unparseable spec is invalid" "invalid" (status_of l)
+          | None -> Alcotest.fail "no response echoing id bad");
+          check_bool "the non-JSON line is answered too" true
+            (List.exists (fun l -> id_of l = None && status_of l = "invalid") lines);
+          wait_for (fun () -> Server.requests_served t >= 3) "the served counter";
+          check_int "served counts every response" 3 (Server.requests_served t)));
+  check_bool "socket removed on shutdown" false (Sys.file_exists path)
+
+let test_server_queue_full () =
+  let path = socket_path "backpressure" in
+  let cfg = Server.config ~workers:1 ~max_queue:1 ~socket:path ~stdio:false () in
+  with_server cfg (fun _ ->
+      with_client path (fun fd ->
+          for i = 1 to 4 do
+            send_line fd
+              (req_json
+                 ~id:(Printf.sprintf "s%d" i)
+                 ~deadline_ms:400 ~horizon:8_000_000
+                 ~release_horizon:4_000_000 slow_spec)
+          done;
+          let lines = recv_lines fd 4 in
+          let count st =
+            List.length (List.filter (fun l -> status_of l = st) lines)
+          in
+          check_int "every request is answered" 4 (List.length lines);
+          check_bool "overload is refused, not buffered" true
+            (count "queue_full" >= 1);
+          check_bool "admitted slow requests degrade or time out" true
+            (count "degraded" + count "timeout" >= 1);
+          check_int "no other status leaks in" 4
+            (count "queue_full" + count "degraded" + count "timeout")))
+
+let test_server_store_restart () =
+  let dir = temp_dir "server-store" in
+  let path = socket_path "warmstart" in
+  let spec = spec_of_seed 6 in
+  let run_once () =
+    let store = Store.open_ ~validate:validate_analysis dir in
+    let cfg =
+      Server.config ~workers:1 ~max_queue:4 ~store ~socket:path ~stdio:false ()
+    in
+    with_server cfg (fun _ ->
+        with_client path (fun fd ->
+            send_line fd (req_json ~id:"probe" spec);
+            match recv_lines fd 1 with
+            | [ line ] ->
+                check_bool "request analyzed" true
+                  (status_of line = "ok" || status_of line = "unschedulable")
+            | l -> Alcotest.failf "expected one response, got %d" (List.length l)));
+    Store.stats store
+  in
+  let first = run_once () in
+  check_int "first daemon computes" 1 first.Store.misses;
+  let second = run_once () in
+  check_int "restarted daemon answers from the persistent store" 1
+    second.Store.hits;
+  check_int "restarted daemon never re-runs the engine" 0 second.Store.misses
+
 let () =
   Alcotest.run "rta_service"
     [
@@ -331,6 +723,8 @@ let () =
           Alcotest.test_case "memoizes" `Quick test_cache_memoizes;
           Alcotest.test_case "failure not poisoned" `Quick
             test_cache_failure_not_poisoned;
+          Alcotest.test_case "cancellation not poisoned" `Quick
+            test_cache_cancelled_not_poisoned;
         ] );
       ( "determinism",
         [
@@ -344,6 +738,31 @@ let () =
         ] );
       ( "failures",
         [ Alcotest.test_case "deadline timeout" `Quick test_deadline_timeout ] );
+      ( "degraded",
+        [
+          Alcotest.test_case "mid-flight deadline degrades" `Quick
+            test_midflight_degrade;
+          Alcotest.test_case "degraded equals envelope bounds" `Quick
+            test_degraded_matches_envelope;
+        ] );
+      ( "store",
+        [
+          Alcotest.test_case "warm restart" `Quick test_store_warm_restart;
+          Alcotest.test_case "corruption evicted" `Quick
+            test_store_corruption_evicted;
+          Alcotest.test_case "LRU eviction" `Quick test_store_lru_eviction;
+          Alcotest.test_case "tmp sweep and key hygiene" `Quick
+            test_store_hygiene;
+        ] );
+      ( "server",
+        [
+          Alcotest.test_case "socket roundtrip and shutdown" `Quick
+            test_server_roundtrip;
+          Alcotest.test_case "queue_full backpressure" `Quick
+            test_server_queue_full;
+          Alcotest.test_case "store warm restart across daemons" `Quick
+            test_server_store_restart;
+        ] );
       ( "ndjson",
         [
           Alcotest.test_case "request decoding" `Quick test_request_decoding;
